@@ -1,0 +1,25 @@
+"""Ablation: warp-level vs scheduler-level atomic buffering.
+
+Paper Section VI-A: "Scheduler-level buffering performs similarly to
+warp-level buffering but could reduce area overhead up to 16x" — the
+design decision that motivates determinism-aware scheduling in the
+first place.
+"""
+
+from repro.harness.report import geomean
+
+from benchmarks.conftest import record_table, run_once
+from repro.harness.experiments import ablation_buffer_level
+
+
+def test_ablation_buffer_level(benchmark):
+    table = run_once(benchmark, ablation_buffer_level)
+    record_table("ablation_buffer_level", table)
+    d = dict(table.data)
+    area = d.pop("area_bytes_per_sm")
+    # 16x area reduction (64 warps -> 4 schedulers)
+    assert area["warp-level"] // area["scheduler-level"] == 16
+    gw = geomean([r["warp-level"] for r in d.values()])
+    gs = geomean([r["scheduler-level"] for r in d.values()])
+    # "performs similarly": within ~20% of each other overall
+    assert gs < gw * 1.2

@@ -1,0 +1,18 @@
+"""Section V validation: bitwise digests across jitter seeds for the
+order-sensitive benchmark — baseline varies, DAB and GPUDet do not."""
+
+from benchmarks.conftest import record_table, run_once
+from repro.harness.experiments import determinism_validation
+
+
+def test_determinism_validation(benchmark):
+    table = run_once(benchmark, determinism_validation)
+    record_table("determinism_validation", table)
+    d = table.data
+    assert not d["baseline"]["deterministic"], (
+        "baseline should scramble the order-sensitive sum under jitter"
+    )
+    for label, row in d.items():
+        if label == "baseline":
+            continue
+        assert row["deterministic"], label

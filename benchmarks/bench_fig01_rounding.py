@@ -1,0 +1,13 @@
+"""Fig 1: the base-10, 3-digit rounding example (reduction-order
+sensitivity).  Regenerates the exact numbers of the paper's figure."""
+
+from benchmarks.conftest import record_table, run_once
+from repro.harness.experiments import fig01_rounding
+
+
+def test_fig01_rounding(benchmark):
+    table = run_once(benchmark, fig01_rounding)
+    record_table("fig01_rounding", table)
+    assert table.data["(a+b)+c"] == "1.01"
+    assert table.data["(b+c)+a"] == "1.00"
+    assert table.data["differ"]

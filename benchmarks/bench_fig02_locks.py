@@ -1,0 +1,28 @@
+"""Fig 2: atomicAdd on DAB vs deterministic locking algorithms on the
+non-deterministic baseline GPU, normalized to baseline atomicAdd.
+
+Paper shape: all three lock algorithms are 1-2 orders of magnitude
+slower than atomicAdd and the gap grows with array size (contention);
+DAB's atomicAdd stays close to (here: at or below) the baseline.
+Scale: arrays of 32-128 elements on the tiny machine (paper sweeps
+larger arrays on the full TITAN V model).
+"""
+
+from benchmarks.conftest import record_table, run_once
+from repro.harness.experiments import fig02_locks
+
+
+def test_fig02_locks(benchmark):
+    table = run_once(benchmark, fig02_locks)
+    record_table("fig02_locks", table)
+    data = table.data
+    sizes = sorted(data)
+    for n in sizes:
+        row = data[n]
+        # every lock much slower than atomicAdd
+        for alg in ("ts", "ts_backoff", "tts"):
+            assert row[alg] > 5.0, (n, alg, row[alg])
+        # DAB atomicAdd stays within 2x of baseline atomicAdd
+        assert row["DAB atomicAdd"] < 2.0
+    # lock overhead grows with contention
+    assert data[sizes[-1]]["ts"] > data[sizes[0]]["ts"]

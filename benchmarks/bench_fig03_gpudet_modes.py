@@ -1,0 +1,20 @@
+"""Fig 3: GPUDet execution-mode breakdown.
+
+Paper shape: for atomic-intensive workloads GPUDet spends the majority
+of its time in serial mode, and is 2-10x slower than the baseline.
+"""
+
+from benchmarks.conftest import record_table, run_once
+from repro.harness.experiments import fig03_gpudet_modes
+
+
+def test_fig03_gpudet_modes(benchmark):
+    table = run_once(benchmark, fig03_gpudet_modes)
+    record_table("fig03_gpudet_modes", table)
+    for name, row in table.data.items():
+        assert row["slowdown"] > 1.2, name
+        assert row["serial"] > row["commit"], name
+    # graphs: serial mode dominates (paper: "majority of the execution
+    # time in serial mode")
+    graph_rows = [r for n, r in table.data.items() if n.startswith(("BC", "PRK"))]
+    assert any(r["serial"] > 0.4 for r in graph_rows)

@@ -1,0 +1,18 @@
+"""Fig 9: simulator IPC vs the hardware-model stand-in.
+
+The paper reports 96.8% correlation / 32.5% error of GPGPU-Sim against
+a real TITAN V.  We have no GPU (see DESIGN.md substitutions): the
+reference is an analytic roofline model with fixed per-benchmark
+perturbation, so this bench validates the correlation machinery and the
+simulator's cross-benchmark ordering, not absolute fidelity.
+"""
+
+from benchmarks.conftest import record_table, run_once
+from repro.harness.experiments import fig09_correlation
+
+
+def test_fig09_correlation(benchmark):
+    table = run_once(benchmark, fig09_correlation)
+    record_table("fig09_correlation", table)
+    assert table.data["correlation"] > 0.5
+    assert table.data["error"] < 1.0

@@ -1,0 +1,23 @@
+"""Fig 10: headline result — DAB (GWAT-64-AF-Coalescing) vs GPUDet,
+normalized to the non-deterministic baseline.
+
+Paper shape: DAB ~1.23x geomean slowdown; GPUDet 2-4x; DAB beats GPUDet
+on every workload.
+"""
+
+from benchmarks.conftest import record_table, run_once
+from repro.harness.experiments import fig10_overall
+
+
+def test_fig10_overall(benchmark):
+    table = run_once(benchmark, fig10_overall)
+    record_table("fig10_overall", table)
+    d = table.data
+    gm = d.pop("geomean")
+    # headline numbers: DAB modest slowdown, GPUDet severe
+    assert gm["DAB"] < 1.6
+    assert gm["GPUDet"] > 1.5
+    assert gm["DAB"] < gm["GPUDet"]
+    # DAB wins or ties GPUDet on every workload
+    for name, row in d.items():
+        assert row["DAB"] <= row["GPUDet"] * 1.05, name

@@ -1,0 +1,21 @@
+"""Fig 11: determinism-aware scheduling policies (256-entry buffers),
+normalized to baseline, on the scheduler-pressure ("narrow") machine.
+
+Paper shape: SRR is the most restrictive; the relaxed policies
+(GTRR/GTAR/GWAT) match or beat it, with GWAT best overall.
+"""
+
+from repro.harness.report import geomean
+
+from benchmarks.conftest import record_table, run_once
+from repro.harness.experiments import fig11_schedulers
+
+
+def test_fig11_schedulers(benchmark):
+    table = run_once(benchmark, fig11_schedulers)
+    record_table("fig11_schedulers", table)
+    d = table.data
+    gm = {pol: geomean([row[pol] for row in d.values()])
+          for pol in ("SRR", "GTRR", "GTAR", "GWAT")}
+    assert gm["GWAT"] <= gm["SRR"] * 1.02
+    assert gm["GTAR"] <= gm["SRR"] * 1.05

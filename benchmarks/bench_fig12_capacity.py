@@ -1,0 +1,21 @@
+"""Fig 12: GWAT buffer-capacity sweep (32/64/128/256).
+
+Paper shape: graphs generally improve with capacity (fewer full-buffer
+stalls); convolutions are mostly insensitive (fixed atomic count, only
+flush frequency changes).
+"""
+
+from repro.harness.report import geomean
+
+from benchmarks.conftest import record_table, run_once
+from repro.harness.experiments import fig12_capacity
+
+
+def test_fig12_capacity(benchmark):
+    table = run_once(benchmark, fig12_capacity)
+    record_table("fig12_capacity", table)
+    d = table.data
+    graphs = {n: r for n, r in d.items() if n.startswith(("BC", "PRK"))}
+    gm32 = geomean([r[32] for r in graphs.values()])
+    gm256 = geomean([r[256] for r in graphs.values()])
+    assert gm256 <= gm32  # bigger buffers help graphs overall

@@ -1,0 +1,25 @@
+"""Fig 13: atomic fusion on scheduler-level buffering.
+
+Paper shape: fusion helps graphs and the aligned 1x1 conv layers; the
+3x3 layers see no benefit on the full machine (same-region CTAs never
+share a scheduler -- the Fig 14 misalignment).
+"""
+
+from repro.harness.report import geomean
+
+from benchmarks.conftest import record_table, run_once
+from repro.harness.experiments import fig13_fusion
+
+
+def test_fig13_fusion(benchmark):
+    table = run_once(benchmark, fig13_fusion)
+    record_table("fig13_fusion", table)
+    d = table.data
+    graphs = {n: r for n, r in d.items() if n.startswith(("BC", "PRK"))}
+    gm = lambda key: geomean([r[key] for r in graphs.values()])
+    assert gm("GWAT-32-AF") <= gm("GWAT-32")
+    assert gm("GWAT-64-AF") <= gm("GWAT-64")
+    # misaligned 3x3 layers: no fusion at all
+    for name, row in d.items():
+        if name.endswith("_2"):
+            assert row["GWAT-64-AF_fused"] == 0, name

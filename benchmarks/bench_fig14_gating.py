@@ -1,0 +1,20 @@
+"""Fig 14: "gating" SMs so same-region conv CTAs share a scheduler.
+
+Paper shape: running the 3x3 layers on fewer cores (72 instead of 80;
+here 6 instead of 8) *speeds them up* because atomic fusion becomes
+possible.
+"""
+
+from benchmarks.conftest import record_table, run_once
+from repro.harness.experiments import fig14_gating
+
+
+def test_fig14_gating(benchmark):
+    table = run_once(benchmark, fig14_gating)
+    record_table("fig14_gating", table)
+    for layer, row in table.data.items():
+        assert row["fused_full"] == 0, layer
+        assert row["fused_gated"] > 0, layer
+        assert row["gated"] < row["full"], (
+            f"{layer}: gated machine should win despite fewer SMs"
+        )

@@ -1,0 +1,13 @@
+"""Fig 15: where DAB's cycles go — scheduler-slot breakdown."""
+
+from benchmarks.conftest import record_table, run_once
+from repro.harness.experiments import fig15_overheads
+
+
+def test_fig15_overheads(benchmark):
+    table = run_once(benchmark, fig15_overheads)
+    record_table("fig15_overheads", table)
+    for name, fr in table.data.items():
+        total = sum(fr.values())
+        assert 0.99 < total < 1.01, name
+        assert fr["issued"] > 0, name

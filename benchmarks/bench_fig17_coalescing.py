@@ -1,0 +1,18 @@
+"""Fig 17: coalescing buffer flushes on convolutions.
+
+Paper shape: ~13% geomean improvement from coalescing same-sector
+entries into single transactions (strided conv atomics coalesce well).
+"""
+
+from benchmarks.conftest import record_table, run_once
+from repro.harness.experiments import fig17_coalescing
+
+
+def test_fig17_coalescing(benchmark):
+    table = run_once(benchmark, fig17_coalescing)
+    record_table("fig17_coalescing", table)
+    gm = table.data["geomean"]
+    assert gm["coal"] < gm["plain"], "coalescing should help convs overall"
+    # traffic reduction is the mechanism
+    layers = [r for n, r in table.data.items() if n != "geomean"]
+    assert all(r["pkts_coal"] < r["pkts_plain"] for r in layers)

@@ -1,0 +1,14 @@
+"""Table I: the GPGPU-Sim configuration, paper values vs scaled preset."""
+
+from benchmarks.conftest import record_table, run_once
+from repro.harness.experiments import table1_config
+
+
+def test_table1_config(benchmark):
+    table = run_once(benchmark, table1_config)
+    record_table("table1_config", table)
+    d = table.data
+    assert d["# Streaming Multiprocessors (SM)"] == 80
+    assert d["Max Warps / SM"] == 64
+    assert d["Number of Warp Schedulers / SM"] == 4
+    assert d["L2 Unified Cache (bytes)"] == int(4.5 * 1024 * 1024)

@@ -1,0 +1,18 @@
+"""Table II: graph datasets and measured atomics PKI.
+
+Scale: synthetic graphs at recorded reductions of the paper datasets.
+Shape target: PageRank (coA) has by far the highest atomics PKI; the
+dense random graphs (1k/2k) are atomic-denser than amazon0302/CNR.
+"""
+
+from benchmarks.conftest import record_table, run_once
+from repro.harness.experiments import table2_graphs
+
+
+def test_table2_graphs(benchmark):
+    table = run_once(benchmark, table2_graphs)
+    record_table("table2_graphs", table)
+    d = table.data
+    assert d["coA"]["sim_pki"] == max(r["sim_pki"] for r in d.values())
+    assert d["1k"]["sim_pki"] > d["ama"]["sim_pki"]
+    assert d["1k"]["sim_pki"] > d["CNR"]["sim_pki"]

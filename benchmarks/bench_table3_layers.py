@@ -1,0 +1,11 @@
+"""Table III: ResNet backward-filter layer configurations + atomics PKI."""
+
+from benchmarks.conftest import record_table, run_once
+from repro.harness.experiments import table3_layers
+
+
+def test_table3_layers(benchmark):
+    table = run_once(benchmark, table3_layers)
+    record_table("table3_layers", table)
+    for name, row in table.data.items():
+        assert row["sim_pki"] > 0, name

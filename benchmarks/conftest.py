@@ -1,0 +1,33 @@
+"""Benchmark harness glue.
+
+Every benchmark regenerates one paper table/figure.  Simulation runs are
+deterministic and expensive, so each measurement executes exactly once
+(``rounds=1``) inside pytest-benchmark, and each experiment's table is
+printed and archived under ``benchmarks/results/``.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record_table(name: str, table) -> None:
+    """Print the regenerated table and archive it."""
+    text = table.render() if hasattr(table, "render") else str(table)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Deterministic CNN training step: backward-filter convolution.
+
+The paper's machine-learning motivation: cuDNN's fast backward-filter
+algorithm accumulates weight gradients with f32 atomics, so two training
+runs of the same model can diverge.  This example:
+
+* runs a scaled ResNet backward-filter layer (Table III shapes) and
+  checks the gradient against a float64 reference;
+* shows gradient drift on the baseline GPU vs bitwise stability on DAB;
+* demonstrates the atomic-fusion and flush-coalescing optimizations,
+  and the Fig 14 "SM gating" effect where *fewer* SMs run the 3x3
+  layers *faster* because same-region CTAs can fuse.
+
+Run:  python examples/convolution_training.py
+"""
+
+import numpy as np
+
+from repro import DABConfig, GPU, GPUConfig, JitterSource
+from repro.harness.report import Table
+from repro.workloads.convolution import RESNET_LAYERS, build_conv
+
+
+def run(workload, dab=None, config=None, seed=1):
+    gpu = GPU(config or GPUConfig.small(), workload.mem, dab=dab,
+              jitter=JitterSource(seed, dram_max=48, icnt_max=24))
+    return workload.drive(gpu)
+
+
+def main() -> None:
+    layer = "cnv2_2"
+    cfg = RESNET_LAYERS[layer]
+    print(f"Layer {layer}: paper filter {cfg.paper_filter}, "
+          f"scaled to {cfg.filter_elems} filter elements, "
+          f"{cfg.regions} regions x {cfg.slices} CTAs")
+
+    # Correctness against float64.
+    wl = build_conv(layer)
+    res = run(wl, dab=DABConfig.paper_default())
+    got = wl.mem.buffer("dw").astype(np.float64)
+    ok = np.allclose(got, wl.info["reference_f64"], rtol=1e-3, atol=1e-4)
+    print(f"\n{res.summary()}")
+    print(f"dW matches float64 reference: {ok}")
+
+    # Gradient drift on baseline vs DAB.
+    print("\nGradient determinism across 4 runs (bitwise digests):")
+    for label, dab in (("baseline", None), ("DAB", DABConfig.paper_default())):
+        digests = set()
+        for seed in (1, 2, 3, 4):
+            wl = build_conv(layer)
+            run(wl, dab=dab, seed=seed)
+            digests.add(wl.output_digest())
+        print(f"  {label:8s}: {len(digests)} distinct gradient image(s)")
+
+    # Optimizations (Fig 13/17 view).
+    print("\nBuffer optimizations on the 1x1 squeeze layer (cnv2_1):")
+    t = Table("cnv2_1 DAB variants (normalized to baseline)",
+              ["variant", "slowdown", "fused atomics", "icnt packets"])
+    base = run(build_conv("cnv2_1")).cycles
+    for label, d in (
+        ("GWAT-64", DABConfig(buffer_entries=64, scheduler="gwat")),
+        ("GWAT-64-AF", DABConfig(buffer_entries=64, scheduler="gwat",
+                                 fusion=True)),
+        ("GWAT-64-AF-Coal", DABConfig.paper_default()),
+    ):
+        wl = build_conv("cnv2_1")
+        r = run(wl, dab=d)
+        t.add_row(label, r.cycles / base, r.fused_atomics, r.icnt_packets)
+    print(t)
+
+    # Fig 14: gating SMs.
+    print("\nFig 14 effect — gate 8 SMs down to 6 so same-region CTAs")
+    print("share a scheduler (3x3 layer, 4 warps/CTA variant):")
+    dab = DABConfig(buffer_entries=64, scheduler="gwat", fusion=True)
+    full = GPUConfig.small()
+    gated = full.replace(num_clusters=3)
+    wl = build_conv("cnv2_2g")
+    base = run(wl).cycles
+    wl = build_conv("cnv2_2g")
+    r_full = run(wl, dab=dab, config=full)
+    wl = build_conv("cnv2_2g")
+    r_gated = run(wl, dab=dab, config=gated)
+    print(f"  {full.num_sms} SMs: {r_full.cycles / base:.3f}x "
+          f"(fused atomics: {r_full.fused_atomics})")
+    print(f"  {gated.num_sms} SMs: {r_gated.cycles / base:.3f}x "
+          f"(fused atomics: {r_gated.fused_atomics})  <- fewer SMs, faster")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Quickstart: see GPU non-determinism, then fix it with DAB.
+
+Runs the paper's motivating scenario end to end:
+
+1. Figure 1's base-10 rounding example — why reduction order matters.
+2. An order-sensitive f32 reduction on the baseline GPU under several
+   injected-timing seeds: the results differ bit for bit.
+3. The same reduction under DAB (GWAT-64-AF-Coalescing): identical
+   results for every seed, at a modest performance cost.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import DABConfig, GPU, GPUConfig, GlobalMemory, JitterSource
+from repro.arch.isa import assemble
+from repro.arch.kernel import Kernel
+from repro.fp.decimal_toy import figure1_example
+
+SUM_KERNEL = assemble("""
+    mov.s32 r_i, %gtid
+    setp.ge.s32 p_done, r_i, c_n
+@p_done bra DONE
+    shl.s32 r_off, r_i, 2
+    add.s32 r_addr, c_in, r_off
+    ld.global.f32 r_v, [r_addr]
+    red.global.add.f32 [c_out], r_v
+DONE:
+    exit
+""")
+
+
+def make_order_sensitive_data(n: int, seed: int = 3) -> np.ndarray:
+    """Values spanning many binades: almost any reorder changes the sum."""
+    rng = np.random.default_rng(seed)
+    expo = rng.integers(-6, 7, size=n)
+    sign = rng.choice([-1.0, 1.0], size=n)
+    return (sign * rng.uniform(1, 2, n) * 2.0 ** expo).astype(np.float32)
+
+
+def run_reduction(data: np.ndarray, jitter_seed: int, dab=None):
+    """One simulated run; returns (f32 result, cycle count)."""
+    n = len(data)
+    mem = GlobalMemory()
+    base_in = mem.alloc("in", n, "f32", init=data)
+    base_out = mem.alloc("out", 1, "f32")
+    kernel = Kernel(
+        "sum", SUM_KERNEL, grid_dim=-(-n // 128), cta_dim=128,
+        params={"c_in": base_in, "c_out": base_out, "c_n": n},
+    )
+    gpu = GPU(GPUConfig.small(), mem, dab=dab,
+              jitter=JitterSource(jitter_seed, dram_max=48, icnt_max=24))
+    gpu.launch(kernel)
+    result = gpu.run()
+    return float(mem.buffer("out")[0]), result.cycles
+
+
+def main() -> None:
+    print("=" * 64)
+    print("1. Paper Figure 1 (base-10, 3 digits, round up):")
+    ex = figure1_example()
+    print(f"   a={ex['inputs'][0]}  b={ex['inputs'][1]}  c={ex['inputs'][2]}")
+    print(f"   (a+b)+c = {ex['(a+b)+c']}    (b+c)+a = {ex['(b+c)+a']}")
+    print(f"   -> same inputs, different results: {ex['differ']}")
+
+    data = make_order_sensitive_data(2048)
+    ref = float(np.sum(data.astype(np.float64)))
+    seeds = (1, 2, 3, 4, 5)
+
+    print("\n2. Baseline (non-deterministic) GPU, 5 runs of the same program:")
+    base_cycles = None
+    values = []
+    for s in seeds:
+        v, cycles = run_reduction(data, s)
+        base_cycles = base_cycles or cycles
+        values.append(v)
+        print(f"   seed {s}: sum = {v!r}")
+    print(f"   distinct results: {len(set(values))}  (float64 reference: {ref:.6f})")
+
+    print("\n3. Same program under DAB (GWAT-64-AF-Coalescing):")
+    dab_values = []
+    dab_cycles = None
+    for s in seeds:
+        v, cycles = run_reduction(data, s, dab=DABConfig.paper_default())
+        dab_cycles = dab_cycles or cycles
+        dab_values.append(v)
+        print(f"   seed {s}: sum = {v!r}")
+    print(f"   distinct results: {len(set(dab_values))}")
+
+    print("\nSummary")
+    print(f"   baseline: {len(set(values))} distinct bitwise results "
+          f"({base_cycles} cycles)")
+    print(f"   DAB:      {len(set(dab_values))} distinct bitwise result "
+          f"({dab_cycles} cycles, "
+          f"{dab_cycles / base_cycles:.2f}x vs baseline)")
+    assert len(set(dab_values)) == 1, "DAB must be deterministic!"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The benchmark environment has setuptools but no ``wheel`` package, so
+PEP 517 editable installs fail; ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation``) works through this shim.
+"""
+
+from setuptools import setup
+
+setup()

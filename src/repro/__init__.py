@@ -1,0 +1,57 @@
+"""repro — a full reproduction of "Deterministic Atomic Buffering" (MICRO 2020).
+
+The package provides, from scratch in Python:
+
+* a cycle-level GPU timing simulator with a mini-PTX ISA
+  (:mod:`repro.arch`, :mod:`repro.sim`, :mod:`repro.memory`,
+  :mod:`repro.interconnect`);
+* **DAB**, the paper's architecture (:mod:`repro.core`): atomic buffers,
+  determinism-aware schedulers (SRR/GTRR/GTAR/GWAT), deterministic
+  buffer flushing, atomic fusion, flush coalescing, offset flushing;
+* **GPUDet**, the strong-determinism baseline (:mod:`repro.gpudet`);
+* the paper's workloads (:mod:`repro.workloads`): Betweenness
+  Centrality, PageRank, backward-filter convolution, the atomicAdd
+  microbenchmark and three deterministic lock baselines;
+* a benchmark harness regenerating every table and figure
+  (:mod:`repro.harness`).
+
+Quick start::
+
+    from repro import (GPUConfig, DABConfig, GlobalMemory, GPU,
+                       JitterSource)
+    from repro.workloads.microbench import build_atomic_sum
+
+    mem = GlobalMemory()
+    wl = build_atomic_sum(mem, n=4096, seed=1)
+    gpu = GPU(GPUConfig.small(), mem, dab=DABConfig.paper_default(),
+              jitter=JitterSource(seed=7))
+    for k in wl.kernels:
+        gpu.launch(k)
+    result = gpu.run()
+    print(result.summary(), mem.snapshot_digest())
+"""
+
+from repro.config import CacheConfig, GPUConfig
+from repro.core.dab import BufferLevel, DABConfig
+from repro.gpudet.gpudet import GPUDetConfig
+from repro.memory.globalmem import AtomicOp, GlobalMemory
+from repro.sim.gpu import GPU, SimulationError
+from repro.sim.nondet import JitterSource
+from repro.sim.results import SimResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "GPUConfig",
+    "BufferLevel",
+    "DABConfig",
+    "GPUDetConfig",
+    "AtomicOp",
+    "GlobalMemory",
+    "GPU",
+    "SimulationError",
+    "JitterSource",
+    "SimResult",
+    "__version__",
+]

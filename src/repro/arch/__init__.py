@@ -1,0 +1,41 @@
+"""Mini-PTX ISA and per-warp execution state.
+
+This package is the instruction-level substrate of the reproduction: a
+small PTX-like assembly language (``isa``), SIMT divergence handling via
+a reconvergence stack (``simt_stack``), per-warp lane-parallel register
+files and the functional execution engine (``warp``), and kernel / CTA
+descriptors (``kernel``).
+
+The paper's workloads are CUDA programs compiled to PTX; here they are
+written directly in this mini-PTX (see ``repro.workloads``), which keeps
+the same structure the paper reasons about: ``red`` reduction atomics
+with no return value, ``atom`` returning atomics, ``bar.sync`` CTA
+barriers and relaxed memory semantics.
+"""
+
+from repro.arch.isa import (
+    Instr,
+    MemOperand,
+    Program,
+    assemble,
+    OpClass,
+    ISAError,
+)
+from repro.arch.kernel import Kernel, KernelLaunch, CTA
+from repro.arch.simt_stack import SIMTStack
+from repro.arch.warp import Warp, MemRequestSpec
+
+__all__ = [
+    "Instr",
+    "MemOperand",
+    "Program",
+    "assemble",
+    "OpClass",
+    "ISAError",
+    "Kernel",
+    "KernelLaunch",
+    "CTA",
+    "SIMTStack",
+    "Warp",
+    "MemRequestSpec",
+]

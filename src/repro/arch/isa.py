@@ -1,0 +1,466 @@
+"""Mini-PTX instruction set: parsing, classification, CFG analysis.
+
+Kernels are written in a PTX-flavoured assembly.  Supported syntax::
+
+    LABEL:
+    @pred  opcode  dst, src0, src1      // guarded instruction
+           opcode  dst, [addr+imm]      // memory operand in brackets
+           bra     TARGET               // labels resolve to PCs
+
+Opcodes (``.`` separated, PTX style):
+
+* ALU: ``mov``, ``add.s32/f32``, ``sub.*``, ``mul.*``, ``div.*``,
+  ``rem.s32``, ``min.*``, ``max.*``, ``and/or/xor/shl/shr.s32``,
+  ``fma.f32``, ``selp.*``, ``cvt.f32.s32``, ``cvt.s32.f32``, ``abs.*``
+* Predicates: ``setp.<lt|le|gt|ge|eq|ne>.<s32|f32>``
+* Control: ``bra`` (guarded for conditional), ``exit``, ``nop`` (optional
+  latency immediate), ``sleep`` (cycles immediate, for backoff loops)
+* Memory: ``ld.global.<f32|s32>``, ``st.global.<f32|s32>``
+* Atomics: ``red.global.<add|min|max>.<f32|s32>`` (no return value),
+  ``atom.global.<add|exch|cas|inc>.<f32|s32>`` (returns old value)
+* Synchronization: ``bar.sync``, ``membar.gl``
+
+Branch reconvergence points (for the SIMT stack) are computed
+automatically as immediate post-dominators of the control-flow graph,
+the approach GPGPU-Sim uses and the paper assumes ("divergence is
+handled by SIMT stacks, ... which side executes first is
+deterministic").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+
+class ISAError(ValueError):
+    """Raised for malformed assembly or unsupported opcodes."""
+
+
+class OpClass(Enum):
+    """Timing class of an instruction (drives pipeline latency)."""
+
+    ALU = "alu"
+    SFU = "sfu"          # long-latency arithmetic (div)
+    MEM_LOAD = "load"
+    MEM_STORE = "store"
+    MEM_RED = "red"      # non-returning atomic (reduction)
+    MEM_ATOM = "atom"    # returning atomic
+    BARRIER = "barrier"
+    FENCE = "fence"
+    BRANCH = "branch"
+    EXIT = "exit"
+    NOP = "nop"
+    SLEEP = "sleep"
+
+
+#: Operand that is an immediate constant.
+Immediate = Union[int, float]
+
+
+@dataclass(frozen=True)
+class MemOperand:
+    """A ``[reg+offset]`` or ``[imm]`` address expression (byte units)."""
+
+    reg: Optional[str]
+    offset: int = 0
+
+    def __str__(self) -> str:
+        if self.reg is None:
+            return f"[{self.offset}]"
+        if self.offset:
+            return f"[{self.reg}+{self.offset}]"
+        return f"[{self.reg}]"
+
+
+@dataclass
+class Instr:
+    """One decoded instruction."""
+
+    opcode: str
+    dst: Optional[str] = None
+    srcs: Tuple[object, ...] = ()
+    mem: Optional[MemOperand] = None
+    guard: Optional[str] = None        # predicate register name
+    guard_negated: bool = False
+    target_label: Optional[str] = None
+    target_pc: int = -1                # resolved branch target
+    reconv_pc: int = -1                # immediate post-dominator (branches)
+    pc: int = -1
+    op_class: OpClass = OpClass.ALU
+
+    @property
+    def is_atomic(self) -> bool:
+        """True for atomics in the paper's sense (``red`` and ``atom``)."""
+        return self.op_class in (OpClass.MEM_RED, OpClass.MEM_ATOM)
+
+    @property
+    def is_reduction(self) -> bool:
+        """True only for non-returning ``red`` atomics (bufferable by DAB)."""
+        return self.op_class is OpClass.MEM_RED
+
+    def __str__(self) -> str:
+        parts = []
+        if self.guard:
+            parts.append("@%s%s" % ("!" if self.guard_negated else "", self.guard))
+        parts.append(self.opcode)
+        ops = []
+        if self.dst is not None:
+            ops.append(self.dst)
+        for s in self.srcs:
+            ops.append(str(s))
+        if self.mem is not None:
+            ops.append(str(self.mem))
+        if self.target_label is not None:
+            ops.append(self.target_label)
+        return " ".join(parts) + (" " + ", ".join(ops) if ops else "")
+
+
+_ALU_ROOTS = {
+    "mov", "add", "sub", "mul", "min", "max", "and", "or", "xor",
+    "shl", "shr", "fma", "selp", "setp", "cvt", "abs", "not", "rem",
+    "mad",
+}
+_SFU_ROOTS = {"div", "sqrt", "rcp"}
+_CMP_OPS = {"lt", "le", "gt", "ge", "eq", "ne"}
+_DTYPES = {"s32", "u32", "b32", "f32", "s64"}
+_RED_OPS = {"add", "min", "max"}
+_ATOM_OPS = {"add", "exch", "cas", "inc", "min", "max"}
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+_NUM_RE = re.compile(r"^[+-]?(\d+\.?\d*([eE][+-]?\d+)?|0x[0-9a-fA-F]+|\.\d+)$")
+
+
+def _classify(opcode: str, has_guard_target: bool) -> OpClass:
+    parts = opcode.split(".")
+    root = parts[0]
+    if root == "bra":
+        return OpClass.BRANCH
+    if root == "exit":
+        return OpClass.EXIT
+    if root == "nop":
+        return OpClass.NOP
+    if root == "sleep":
+        return OpClass.SLEEP
+    if root == "bar":
+        return OpClass.BARRIER
+    if root == "membar":
+        return OpClass.FENCE
+    if root == "ld":
+        return OpClass.MEM_LOAD
+    if root == "st":
+        return OpClass.MEM_STORE
+    if root == "red":
+        return OpClass.MEM_RED
+    if root == "atom":
+        return OpClass.MEM_ATOM
+    if root in _SFU_ROOTS:
+        return OpClass.SFU
+    if root in _ALU_ROOTS:
+        return OpClass.ALU
+    raise ISAError(f"unknown opcode: {opcode!r}")
+
+
+def _validate(instr: Instr) -> None:
+    parts = instr.opcode.split(".")
+    root = parts[0]
+    oc = instr.op_class
+    if oc in (OpClass.MEM_LOAD, OpClass.MEM_STORE, OpClass.MEM_RED, OpClass.MEM_ATOM):
+        if len(parts) < 3 or parts[1] != "global":
+            raise ISAError(f"memory ops must target .global space: {instr.opcode}")
+        if parts[-1] not in _DTYPES:
+            raise ISAError(f"memory op missing dtype: {instr.opcode}")
+        if instr.mem is None:
+            raise ISAError(f"memory op needs [addr] operand: {instr}")
+        if oc is OpClass.MEM_RED and parts[2] not in _RED_OPS:
+            raise ISAError(f"unsupported red op: {instr.opcode}")
+        if oc is OpClass.MEM_ATOM and parts[2] not in _ATOM_OPS:
+            raise ISAError(f"unsupported atom op: {instr.opcode}")
+        if oc is OpClass.MEM_LOAD and instr.dst is None:
+            raise ISAError("ld needs a destination register")
+        if oc is OpClass.MEM_ATOM and instr.dst is None:
+            raise ISAError("atom returns a value and needs a destination")
+    if root == "setp":
+        if len(parts) != 3 or parts[1] not in _CMP_OPS or parts[2] not in _DTYPES:
+            raise ISAError(f"setp must be setp.<cmp>.<dtype>: {instr.opcode}")
+    if oc is OpClass.BRANCH and instr.target_label is None:
+        raise ISAError("bra needs a target label")
+
+
+def _parse_operand(tok: str):
+    tok = tok.strip()
+    if not tok:
+        raise ISAError("empty operand")
+    if _NUM_RE.match(tok):
+        if tok.startswith("0x"):
+            return int(tok, 16)
+        if any(c in tok for c in ".eE") and not tok.startswith("0x"):
+            return float(tok)
+        return int(tok)
+    return tok  # register or special register name
+
+
+def _parse_mem(tok: str) -> MemOperand:
+    inner = tok[1:-1].strip()
+    if "+" in inner:
+        reg, off = inner.split("+", 1)
+        return MemOperand(reg.strip(), int(off.strip(), 0))
+    if _NUM_RE.match(inner):
+        return MemOperand(None, int(inner, 0))
+    return MemOperand(inner, 0)
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas that are not inside brackets."""
+    out, depth, cur = [], 0, []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+            if depth < 0:
+                raise ISAError(f"unbalanced ']' in {text!r}")
+        if ch == "," and depth == 0:
+            out.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if depth:
+        raise ISAError(f"unbalanced '[' in {text!r}")
+    if cur:
+        out.append("".join(cur))
+    return [t.strip() for t in out if t.strip()]
+
+
+@dataclass
+class Program:
+    """An assembled kernel body: instructions with resolved branch PCs."""
+
+    instrs: List[Instr]
+    labels: Dict[str, int] = field(default_factory=dict)
+    source: str = ""
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __getitem__(self, pc: int) -> Instr:
+        return self.instrs[pc]
+
+    @property
+    def registers(self) -> List[str]:
+        """All register names referenced (excluding special %regs)."""
+        regs = set()
+        for ins in self.instrs:
+            if ins.dst and not ins.dst.startswith("%"):
+                regs.add(ins.dst)
+            for s in ins.srcs:
+                if isinstance(s, str) and not s.startswith("%"):
+                    regs.add(s)
+            if ins.mem is not None and ins.mem.reg and not ins.mem.reg.startswith("%"):
+                regs.add(ins.mem.reg)
+            if ins.guard:
+                regs.add(ins.guard)
+        return sorted(regs)
+
+    def static_atomic_count(self) -> int:
+        return sum(1 for i in self.instrs if i.is_atomic)
+
+
+def assemble(source: str) -> Program:
+    """Assemble mini-PTX text into a :class:`Program`.
+
+    Resolves labels, classifies opcodes, validates operand shapes and
+    computes each branch's reconvergence PC (immediate post-dominator).
+    """
+    labels: Dict[str, int] = {}
+    raw: List[Tuple[str, str]] = []  # (guard_prefix_or_'', body)
+
+    for lineno, line in enumerate(source.splitlines(), 1):
+        line = line.split("//")[0].split("#")[0].strip()
+        if not line:
+            continue
+        m = _LABEL_RE.match(line)
+        if m:
+            name = m.group(1)
+            if name in labels:
+                raise ISAError(f"duplicate label {name!r} (line {lineno})")
+            labels[name] = len(raw)
+            continue
+        raw.append((line, str(lineno)))
+
+    instrs: List[Instr] = []
+    for text, lineno in raw:
+        guard = None
+        negated = False
+        if text.startswith("@"):
+            gtok, _, rest = text.partition(" ")
+            text = rest.strip()
+            gname = gtok[1:]
+            if gname.startswith("!"):
+                negated = True
+                gname = gname[1:]
+            if not gname:
+                raise ISAError(f"empty guard (line {lineno})")
+            guard = gname
+        if not text:
+            raise ISAError(f"guard without instruction (line {lineno})")
+        opcode, _, operand_text = text.partition(" ")
+        opcode = opcode.strip()
+        operands = _split_operands(operand_text) if operand_text.strip() else []
+
+        op_class = _classify(opcode, guard is not None)
+
+        dst: Optional[str] = None
+        srcs: List[object] = []
+        mem: Optional[MemOperand] = None
+        target_label: Optional[str] = None
+
+        if op_class is OpClass.BRANCH:
+            if len(operands) != 1:
+                raise ISAError(f"bra takes one label (line {lineno})")
+            target_label = operands[0]
+        else:
+            parsed = []
+            for tok in operands:
+                if tok.startswith("["):
+                    if mem is not None:
+                        raise ISAError(f"multiple memory operands (line {lineno})")
+                    parsed.append(_parse_mem(tok))
+                else:
+                    parsed.append(_parse_operand(tok))
+            # Destination conventions: first operand is dst for ops that
+            # produce a value; stores and reds have no dst.
+            root = opcode.split(".")[0]
+            has_dst = root not in ("st", "red", "bar", "membar", "exit", "nop", "sleep")
+            idx = 0
+            if has_dst and parsed:
+                if not isinstance(parsed[0], str):
+                    raise ISAError(f"dst must be a register (line {lineno}): {text}")
+                dst = parsed[0]
+                idx = 1
+            for p in parsed[idx:]:
+                if isinstance(p, MemOperand):
+                    mem = p
+                else:
+                    srcs.append(p)
+
+        ins = Instr(
+            opcode=opcode,
+            dst=dst,
+            srcs=tuple(srcs),
+            mem=mem,
+            guard=guard,
+            guard_negated=negated,
+            target_label=target_label,
+            op_class=op_class,
+        )
+        _validate(ins)
+        instrs.append(ins)
+
+    if not instrs or instrs[-1].op_class is not OpClass.EXIT:
+        raise ISAError("program must end with 'exit'")
+
+    # Resolve branch targets.
+    for pc, ins in enumerate(instrs):
+        ins.pc = pc
+        if ins.target_label is not None:
+            if ins.target_label not in labels:
+                raise ISAError(f"undefined label {ins.target_label!r}")
+            ins.target_pc = labels[ins.target_label]
+
+    prog = Program(instrs=instrs, labels=dict(labels), source=source)
+    _compute_reconvergence(prog)
+    return prog
+
+
+# ----------------------------------------------------------------------
+# Immediate post-dominator analysis for SIMT reconvergence points.
+# ----------------------------------------------------------------------
+
+def _successors(prog: Program, pc: int) -> List[int]:
+    ins = prog[pc]
+    if ins.op_class is OpClass.EXIT:
+        return []
+    if ins.op_class is OpClass.BRANCH:
+        succ = [ins.target_pc]
+        if ins.guard is not None:  # conditional: fall-through possible
+            succ.append(pc + 1)
+        return succ
+    return [pc + 1]
+
+
+def _compute_reconvergence(prog: Program) -> None:
+    """Set ``reconv_pc`` of every branch to its immediate post-dominator.
+
+    Standard iterative dominator algorithm (Cooper/Harvey/Kennedy) on the
+    reversed CFG with a virtual exit node joining all ``exit``
+    instructions.
+    """
+    n = len(prog.instrs)
+    exit_node = n  # virtual
+    preds: List[List[int]] = [[] for _ in range(n + 1)]
+    for pc in range(n):
+        succ = _successors(prog, pc)
+        if not succ:
+            preds[exit_node].append(pc)
+        for s in succ:
+            if s >= n:
+                raise ISAError(f"branch falls off program end at pc {pc}")
+            preds[s].append(pc)
+
+    # Reverse-postorder of the reversed CFG starting at the virtual exit.
+    order: List[int] = []
+    seen = [False] * (n + 1)
+    stack = [(exit_node, 0)]
+    seen[exit_node] = True
+    while stack:
+        node, i = stack[-1]
+        ps = preds[node]
+        if i < len(ps):
+            stack[-1] = (node, i + 1)
+            p = ps[i]
+            if not seen[p]:
+                seen[p] = True
+                stack.append((p, 0))
+        else:
+            order.append(node)
+            stack.pop()
+    rpo = list(reversed(order))  # exit first
+    rpo_index = {node: i for i, node in enumerate(rpo)}
+
+    idom: List[Optional[int]] = [None] * (n + 1)
+    idom[exit_node] = exit_node
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while rpo_index[a] > rpo_index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while rpo_index[b] > rpo_index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in rpo:
+            if node == exit_node:
+                continue
+            # In the reversed CFG the "predecessors" are the successors.
+            succ = _successors(prog, node) or [exit_node]
+            new = None
+            for s in succ:
+                if idom[s] is not None:
+                    new = s if new is None else intersect(new, s)
+            if new is not None and idom[node] != new:
+                idom[node] = new
+                changed = True
+
+    for pc in range(n):
+        ins = prog[pc]
+        if ins.op_class is OpClass.BRANCH and ins.guard is not None:
+            pd = idom[pc]
+            if pd is None or not seen[pc]:
+                raise ISAError(f"unreachable or divergent-forever branch at pc {pc}")
+            ins.reconv_pc = pd if pd != exit_node else n  # n == virtual exit

@@ -1,0 +1,520 @@
+"""Per-warp functional execution engine.
+
+A :class:`Warp` owns a lane-parallel register file (numpy vectors, one
+element per lane), a SIMT reconvergence stack and a program counter.
+``step()`` executes exactly one instruction *functionally* and returns a
+:class:`StepResult` describing everything the timing model needs: the
+instruction's class, the memory sectors it touches, and any atomic
+operations it produced.
+
+Timing/functional split (documented simplification, see DESIGN.md §5):
+
+* loads and stores take effect at issue; the warp still pays the full
+  memory round-trip in the timing model.  This is safe because the paper
+  (and DAB) assume data-race-free programs — non-atomic values cannot
+  depend on timing.
+* ``red``/``atom`` atomics do NOT take effect here.  They are returned
+  as :class:`repro.memory.globalmem.AtomicOp` records and applied by the
+  ROP/atomic-buffer machinery at a time and in an order the architecture
+  chooses — that ordering is precisely what DAB makes deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.isa import Instr, OpClass, Program
+from repro.arch.kernel import CTA, Kernel
+from repro.arch.simt_stack import SIMTStack
+from repro.memory.globalmem import AtomicOp, GlobalMemory
+
+SECTOR_BYTES = 32
+
+
+@dataclass
+class MemRequestSpec:
+    """Timing-level description of one warp memory instruction."""
+
+    kind: str                       # "load" | "store" | "red" | "atom"
+    sectors: Tuple[int, ...] = ()   # unique sector base addresses
+    #: for red: AtomicOps in increasing-lane order (paper IV-B).
+    red_ops: Tuple[AtomicOp, ...] = ()
+    #: for atom: (lane, AtomicOp) pairs plus the destination register.
+    atom_ops: Tuple[Tuple[int, AtomicOp], ...] = ()
+    atom_dst: Optional[str] = None
+
+
+@dataclass
+class StepResult:
+    """What one functional step produced, for the timing model."""
+
+    instr: Instr
+    op_class: OpClass
+    active_lanes: int
+    mem: Optional[MemRequestSpec] = None
+    barrier: bool = False
+    fence: bool = False
+    exited: bool = False
+    sleep_cycles: int = 0
+
+
+class Warp:
+    """One hardware warp executing a kernel."""
+
+    __slots__ = (
+        "uid", "sm_id", "scheduler_id", "hw_slot", "batch",
+        "cta", "warp_id_in_cta", "warp_size", "program", "regs", "stack",
+        "ready_cycle", "outstanding_loads", "outstanding_stores",
+        "outstanding_atoms", "at_barrier", "exited", "dyn_instrs",
+        "dyn_atomics", "sleep_until", "launched_cycle", "fence_arrived_at",
+        "buffered_reds", "_red_cache",
+    )
+
+    def __init__(
+        self,
+        uid: int,
+        cta: CTA,
+        warp_id_in_cta: int,
+        warp_size: int,
+        sm_id: int = -1,
+        scheduler_id: int = -1,
+        hw_slot: int = -1,
+    ):
+        self.uid = uid
+        self.cta = cta
+        self.warp_id_in_cta = warp_id_in_cta
+        self.warp_size = warp_size
+        self.sm_id = sm_id
+        self.scheduler_id = scheduler_id
+        self.hw_slot = hw_slot
+        self.batch = cta.batch
+        self.program: Program = cta.kernel.program
+
+        first_thread = warp_id_in_cta * warp_size
+        lanes = np.arange(warp_size)
+        in_cta = (first_thread + lanes) < cta.kernel.cta_dim
+        if not in_cta.any():
+            raise ValueError("warp has no live threads")
+        self.stack = SIMTStack(warp_size, 0, in_cta)
+
+        self.regs: Dict[str, np.ndarray] = {}
+        self._init_special_registers(first_thread, lanes, in_cta)
+
+        # Timing-model state (owned by the SM, stored here for locality).
+        self.ready_cycle = 0
+        self.outstanding_loads = 0
+        self.outstanding_stores = 0
+        self.outstanding_atoms = 0
+        self.at_barrier = False
+        self.exited = False
+        self.sleep_until = 0
+        self.launched_cycle = 0
+        self.fence_arrived_at = 0
+        self.dyn_instrs = 0
+        self.dyn_atomics = 0
+        #: reds inserted into a DAB buffer since the last flush; a CTA
+        #: barrier whose warps all have 0 here needs no fence flush.
+        self.buffered_reds = 0
+        self._red_cache = None  # (dyn_instrs, pc, ops) memo for peek_red_ops
+
+    # ------------------------------------------------------------------
+    def _init_special_registers(self, first_thread: int, lanes: np.ndarray, in_cta) -> None:
+        k: Kernel = self.cta.kernel
+        tid = first_thread + lanes
+        self.regs["%laneid"] = lanes.astype(np.int64)
+        self.regs["%tid"] = tid.astype(np.int64)
+        self.regs["%ctaid"] = np.full(self.warp_size, self.cta.cta_id, dtype=np.int64)
+        self.regs["%ntid"] = np.full(self.warp_size, k.cta_dim, dtype=np.int64)
+        self.regs["%nctaid"] = np.full(self.warp_size, k.grid_dim, dtype=np.int64)
+        self.regs["%gtid"] = (self.cta.cta_id * k.cta_dim + tid).astype(np.int64)
+        self.regs["%warpid"] = np.full(self.warp_size, self.warp_id_in_cta, dtype=np.int64)
+        for name, value in k.params.items():
+            if isinstance(value, bool):
+                raise ValueError("bool kernel params are ambiguous; use int")
+            if isinstance(value, (int, np.integer)):
+                self.regs[name] = np.full(self.warp_size, int(value), dtype=np.int64)
+            else:
+                self.regs[name] = np.full(self.warp_size, np.float32(value), dtype=np.float32)
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.exited or self.stack.done
+
+    @property
+    def pc(self) -> int:
+        return self.stack.pc
+
+    def peek(self) -> Optional[Instr]:
+        """Next instruction to issue (None once the warp has finished)."""
+        if self.done:
+            return None
+        return self.program[self.stack.pc]
+
+    def next_is_atomic(self) -> bool:
+        """Used by determinism-aware schedulers (GTRR/GTAR/GWAT)."""
+        ins = self.peek()
+        return ins is not None and ins.is_atomic
+
+    def next_red_lane_count(self) -> int:
+        """How many buffer entries the next ``red`` would need (no fusion)."""
+        ins = self.peek()
+        if ins is None or ins.op_class is not OpClass.MEM_RED:
+            return 0
+        mask = self._effective_mask(ins)
+        return int(mask.sum())
+
+    def peek_red_ops(self) -> Tuple[AtomicOp, ...]:
+        """Dry-run the next ``red``'s lane ops without executing it.
+
+        Used by the SM's atomic-issue gate: DAB must know whether the
+        buffer can accept the whole warp request *before* issuing
+        (paper IV-B: "An atomic is executed provided sufficient space
+        exists").  The result is memoized per dynamic instruction —
+        registers cannot change while the warp is stalled at this PC.
+        """
+        ins = self.peek()
+        if ins is None or ins.op_class is not OpClass.MEM_RED:
+            return ()
+        if self._red_cache is not None:
+            n, pc, ops = self._red_cache
+            if n == self.dyn_instrs and pc == self.stack.pc:
+                return ops
+        parts = ins.opcode.split(".")
+        dtype = parts[-1]
+        op_suffix = ".".join(parts[2:])
+        mask = self._effective_mask(ins)
+        lane_ids = np.nonzero(mask)[0]
+        addrs = self._mem_addresses(ins)
+        vals = self._read(ins.srcs[0], dtype)
+        ops = tuple(
+            AtomicOp(int(addrs[l]), op_suffix, (_scalar(vals[l]),))
+            for l in lane_ids
+        )
+        self._red_cache = (self.dyn_instrs, self.stack.pc, ops)
+        return ops
+
+    # -- operand helpers -------------------------------------------------
+    def _read(self, operand, dtype: Optional[str] = None) -> np.ndarray:
+        if isinstance(operand, str):
+            try:
+                arr = self.regs[operand]
+            except KeyError:
+                raise KeyError(
+                    f"register {operand!r} read before write in {self.cta.kernel.name}"
+                ) from None
+        else:
+            if isinstance(operand, float) or dtype == "f32":
+                arr = np.full(self.warp_size, np.float32(operand), dtype=np.float32)
+            else:
+                arr = np.full(self.warp_size, int(operand), dtype=np.int64)
+            return arr
+        if dtype == "f32" and arr.dtype != np.float32:
+            return arr.astype(np.float32)
+        if dtype in ("s32", "u32", "b32", "s64") and arr.dtype != np.int64:
+            if arr.dtype == np.bool_:
+                return arr.astype(np.int64)
+            return arr.astype(np.int64)
+        return arr
+
+    def _write(self, dst: str, values: np.ndarray, mask: np.ndarray) -> None:
+        cur = self.regs.get(dst)
+        if cur is None or cur.dtype != values.dtype:
+            base = np.zeros(self.warp_size, dtype=values.dtype)
+            if cur is not None:
+                base[:] = cur.astype(values.dtype)
+            cur = base
+            self.regs[dst] = cur
+        cur[mask] = values[mask]
+
+    def _effective_mask(self, ins: Instr) -> np.ndarray:
+        mask = self.stack.active_mask
+        if ins.guard is not None:
+            pred = self._read(ins.guard)
+            if pred.dtype != np.bool_:
+                pred = pred != 0
+            mask = np.logical_and(mask, ~pred if ins.guard_negated else pred)
+        return mask
+
+    # ------------------------------------------------------------------
+    def step(self, mem: GlobalMemory) -> StepResult:
+        """Execute one instruction functionally; advance the SIMT stack."""
+        if self.done:
+            raise RuntimeError("step() on a finished warp")
+        ins = self.program[self.stack.pc]
+        mask = self._effective_mask(ins)
+        active = int(mask.sum())
+        self.dyn_instrs += 1
+        oc = ins.op_class
+
+        # Guarded-off non-branch instructions become nops.
+        if active == 0 and oc not in (OpClass.BRANCH, OpClass.EXIT):
+            self.stack.advance()
+            return StepResult(ins, OpClass.NOP, 0)
+
+        if oc is OpClass.BRANCH:
+            if ins.guard is None:
+                self.stack.jump(ins.target_pc)
+            else:
+                self.stack.branch(mask, ins.target_pc, ins.reconv_pc)
+            return StepResult(ins, oc, active)
+
+        if oc is OpClass.EXIT:
+            self.stack.exit_lanes(mask if ins.guard is not None else None)
+            exited = self.stack.done
+            if not exited:
+                # Some lanes survive (guarded exit); they continue.
+                pass
+            return StepResult(ins, oc, active, exited=exited)
+
+        if oc is OpClass.BARRIER:
+            self.stack.advance()
+            return StepResult(ins, oc, active, barrier=True)
+
+        if oc is OpClass.FENCE:
+            self.stack.advance()
+            return StepResult(ins, oc, active, fence=True)
+
+        if oc is OpClass.NOP:
+            self.stack.advance()
+            return StepResult(ins, oc, active)
+
+        if oc is OpClass.SLEEP:
+            if ins.srcs:
+                vals = self._read(ins.srcs[0])
+                cycles = int(vals[mask].max()) if active else 1
+            else:
+                cycles = 1
+            self.stack.advance()
+            return StepResult(ins, oc, active, sleep_cycles=max(1, cycles))
+
+        if oc in (OpClass.ALU, OpClass.SFU):
+            self._exec_alu(ins, mask)
+            self.stack.advance()
+            return StepResult(ins, oc, active)
+
+        # Memory operations.
+        parts = ins.opcode.split(".")
+        dtype = parts[-1]
+        addrs = self._mem_addresses(ins)
+        lane_ids = np.nonzero(mask)[0]
+        act_addrs = addrs[lane_ids]
+        sectors = tuple(sorted({int(a) // SECTOR_BYTES * SECTOR_BYTES for a in act_addrs}))
+
+        if oc is OpClass.MEM_LOAD:
+            raw = mem.load_many(act_addrs)
+            vals = np.zeros(self.warp_size, dtype=np.float32 if dtype == "f32" else np.int64)
+            vals[lane_ids] = raw.astype(vals.dtype)
+            self._write(ins.dst, vals, mask)
+            spec = MemRequestSpec(kind="load", sectors=sectors)
+        elif oc is OpClass.MEM_STORE:
+            vals = self._read(ins.srcs[0], dtype)
+            mem.store_many(act_addrs, vals[lane_ids])
+            spec = MemRequestSpec(kind="store", sectors=sectors)
+        elif oc is OpClass.MEM_RED:
+            op_suffix = ".".join(parts[2:])  # e.g. "add.f32"
+            vals = self._read(ins.srcs[0], dtype)
+            red_ops = tuple(
+                AtomicOp(int(addrs[l]), op_suffix, (_scalar(vals[l]),))
+                for l in lane_ids
+            )
+            self.dyn_atomics += 1
+            spec = MemRequestSpec(kind="red", sectors=sectors, red_ops=red_ops)
+        else:  # MEM_ATOM
+            op_suffix = ".".join(parts[2:])
+            atom_root = parts[2]
+            if atom_root == "cas":
+                cmp_v = self._read(ins.srcs[0], dtype)
+                val_v = self._read(ins.srcs[1], dtype)
+                ops = tuple(
+                    (int(l), AtomicOp(int(addrs[l]), op_suffix,
+                                      (_scalar(cmp_v[l]), _scalar(val_v[l]))))
+                    for l in lane_ids
+                )
+            elif atom_root == "inc":
+                ops = tuple(
+                    (int(l), AtomicOp(int(addrs[l]), op_suffix, (1,)))
+                    for l in lane_ids
+                )
+            else:
+                val_v = self._read(ins.srcs[0], dtype)
+                ops = tuple(
+                    (int(l), AtomicOp(int(addrs[l]), op_suffix, (_scalar(val_v[l]),)))
+                    for l in lane_ids
+                )
+            self.dyn_atomics += 1
+            spec = MemRequestSpec(kind="atom", sectors=sectors, atom_ops=ops,
+                                  atom_dst=ins.dst)
+
+        self.stack.advance()
+        return StepResult(ins, oc, active, mem=spec)
+
+    # ------------------------------------------------------------------
+    def _mem_addresses(self, ins: Instr) -> np.ndarray:
+        m = ins.mem
+        assert m is not None
+        if m.reg is None:
+            return np.full(self.warp_size, m.offset, dtype=np.int64)
+        base = self._read(m.reg, "s64")
+        return base + m.offset
+
+    def write_atom_result(self, dst: str, lane: int, value) -> None:
+        """Deliver a returning atomic's old-value into a lane (at response)."""
+        cur = self.regs.get(dst)
+        dtype = np.float32 if isinstance(value, (float, np.floating)) else np.int64
+        if cur is None or (cur.dtype != dtype):
+            base = np.zeros(self.warp_size, dtype=dtype)
+            if cur is not None:
+                base[:] = cur.astype(dtype)
+            cur = base
+            self.regs[dst] = cur
+        cur[lane] = value
+
+    # ------------------------------------------------------------------
+    def _exec_alu(self, ins: Instr, mask: np.ndarray) -> None:
+        parts = ins.opcode.split(".")
+        root = parts[0]
+        dtype = parts[-1] if parts[-1] in ("s32", "u32", "b32", "f32", "s64", "pred") else None
+
+        if root == "mov":
+            src = self._read(ins.srcs[0], dtype)
+            self._write(ins.dst, src.copy(), mask)
+            return
+        if root == "setp":
+            cmp_op = parts[1]
+            a = self._read(ins.srcs[0], parts[2])
+            b = self._read(ins.srcs[1], parts[2])
+            res = _COMPARES[cmp_op](a, b)
+            self._write(ins.dst, res, mask)
+            return
+        if root == "selp":
+            a = self._read(ins.srcs[0], dtype)
+            b = self._read(ins.srcs[1], dtype)
+            p = self._read(ins.srcs[2])
+            if p.dtype != np.bool_:
+                p = p != 0
+            self._write(ins.dst, np.where(p, a, b).astype(a.dtype), mask)
+            return
+        if root == "cvt":
+            to_t, from_t = parts[1], parts[2]
+            src = self._read(ins.srcs[0], from_t)
+            if to_t == "f32":
+                self._write(ins.dst, src.astype(np.float32), mask)
+            else:
+                self._write(ins.dst, np.trunc(src).astype(np.int64), mask)
+            return
+        if root == "not":
+            p = self._read(ins.srcs[0])
+            if p.dtype != np.bool_:
+                p = p != 0
+            self._write(ins.dst, ~p, mask)
+            return
+        if dtype == "pred" and root in ("and", "or", "xor"):
+            a = self._read(ins.srcs[0])
+            b = self._read(ins.srcs[1])
+            if a.dtype != np.bool_:
+                a = a != 0
+            if b.dtype != np.bool_:
+                b = b != 0
+            if root == "and":
+                res = a & b
+            elif root == "or":
+                res = a | b
+            else:
+                res = a ^ b
+            self._write(ins.dst, res, mask)
+            return
+        if root in ("fma", "mad"):
+            if dtype == "f32":
+                a = self._read(ins.srcs[0], "f32").astype(np.float64)
+                b = self._read(ins.srcs[1], "f32").astype(np.float64)
+                c = self._read(ins.srcs[2], "f32").astype(np.float64)
+                self._write(ins.dst, (a * b + c).astype(np.float32), mask)
+            else:
+                a = self._read(ins.srcs[0], "s64")
+                b = self._read(ins.srcs[1], "s64")
+                c = self._read(ins.srcs[2], "s64")
+                self._write(ins.dst, a * b + c, mask)
+            return
+        if root == "abs":
+            src = self._read(ins.srcs[0], dtype)
+            self._write(ins.dst, np.abs(src), mask)
+            return
+
+        a = self._read(ins.srcs[0], dtype)
+        b = self._read(ins.srcs[1], dtype)
+        if dtype == "f32":
+            a64, b64 = a.astype(np.float64), b.astype(np.float64)
+            if root == "add":
+                res = (a64 + b64).astype(np.float32)
+            elif root == "sub":
+                res = (a64 - b64).astype(np.float32)
+            elif root == "mul":
+                res = (a64 * b64).astype(np.float32)
+            elif root == "div":
+                res = np.divide(a64, b64, out=np.zeros_like(a64),
+                                where=b64 != 0).astype(np.float32)
+            elif root == "min":
+                res = np.minimum(a, b)
+            elif root == "max":
+                res = np.maximum(a, b)
+            else:
+                raise ValueError(f"unsupported f32 op {ins.opcode!r}")
+        else:
+            if root == "add":
+                res = a + b
+            elif root == "sub":
+                res = a - b
+            elif root == "mul":
+                res = a * b
+            elif root == "div":
+                res = np.where(b != 0, _trunc_div(a, b), 0)
+            elif root == "rem":
+                res = np.where(b != 0, a - _trunc_div(a, b) * b, 0)
+            elif root == "min":
+                res = np.minimum(a, b)
+            elif root == "max":
+                res = np.maximum(a, b)
+            elif root == "and":
+                res = a & b
+            elif root == "or":
+                res = a | b
+            elif root == "xor":
+                res = a ^ b
+            elif root == "shl":
+                res = a << b
+            elif root == "shr":
+                res = a >> b
+            else:
+                raise ValueError(f"unsupported int op {ins.opcode!r}")
+        self._write(ins.dst, res, mask)
+
+
+def _trunc_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """C-style truncating integer division (numpy // floors)."""
+    q = np.floor_divide(a, np.where(b == 0, 1, b))
+    r = a - q * np.where(b == 0, 1, b)
+    fix = (r != 0) & ((a < 0) != (b < 0))
+    return q + fix
+
+
+def _scalar(v):
+    """Convert a numpy scalar to a plain Python value for AtomicOp."""
+    if isinstance(v, np.floating):
+        return float(np.float32(v))
+    if isinstance(v, np.integer):
+        return int(v)
+    return v
+
+
+_COMPARES = {
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+}

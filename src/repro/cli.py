@@ -1,0 +1,226 @@
+"""Command-line interface: run workloads and experiments from a shell.
+
+Examples::
+
+    python -m repro run --workload bc:FA --arch dab
+    python -m repro run --workload conv:cnv2_2 --arch baseline --seed 3
+    python -m repro run --workload pagerank:coA --arch gpudet
+    python -m repro audit --workload microbench --seeds 1,2,3,4
+    python -m repro experiment fig10
+    python -m repro list
+
+``run`` executes one (workload, architecture) pair and prints the
+result summary; ``audit`` sweeps jitter seeds and reports bitwise
+digests (the determinism check); ``experiment`` regenerates one paper
+table/figure by name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.config import GPUConfig
+from repro.core.dab import BufferLevel, DABConfig
+from repro.gpudet.gpudet import GPUDetConfig
+from repro.harness import experiments as experiments_mod
+from repro.harness.runner import ArchSpec, run_workload
+from repro.workloads.bc import build_bc
+from repro.workloads.convolution import (
+    CONV_LAYER_NAMES,
+    GATING_LAYERS,
+    build_conv,
+)
+from repro.workloads.graphs import TABLE2_GRAPHS
+from repro.workloads.locks import LOCK_ALGORITHMS, build_lock_sum
+from repro.workloads.microbench import build_atomic_sum, build_order_sensitive
+from repro.workloads.pagerank import build_pagerank
+from repro.workloads.sssp import build_sssp
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig01": experiments_mod.fig01_rounding,
+    "fig02": experiments_mod.fig02_locks,
+    "fig03": experiments_mod.fig03_gpudet_modes,
+    "fig09": experiments_mod.fig09_correlation,
+    "fig10": experiments_mod.fig10_overall,
+    "fig11": experiments_mod.fig11_schedulers,
+    "fig12": experiments_mod.fig12_capacity,
+    "fig13": experiments_mod.fig13_fusion,
+    "fig14": experiments_mod.fig14_gating,
+    "fig15": experiments_mod.fig15_overheads,
+    "fig16": experiments_mod.fig16_offset,
+    "fig17": experiments_mod.fig17_coalescing,
+    "fig18": experiments_mod.fig18_relaxed,
+    "table1": experiments_mod.table1_config,
+    "table2": experiments_mod.table2_graphs,
+    "table3": experiments_mod.table3_layers,
+    "determinism": experiments_mod.determinism_validation,
+    "ablation-buffer-level": experiments_mod.ablation_buffer_level,
+}
+
+PRESETS = {
+    "titan_v": GPUConfig.titan_v,
+    "small": GPUConfig.small,
+    "narrow": GPUConfig.narrow,
+    "tiny": GPUConfig.tiny,
+}
+
+
+def parse_workload(spec: str) -> Callable:
+    """``family[:variant]`` -> workload factory."""
+    family, _, variant = spec.partition(":")
+    if family == "bc":
+        return lambda: build_bc(variant or "FA", 0)
+    if family == "pagerank":
+        return lambda: build_pagerank(variant or "coA", 0)
+    if family == "sssp":
+        return lambda: build_sssp(variant or "FA", 0)
+    if family == "conv":
+        return lambda: build_conv(variant or "cnv2_1")
+    if family == "microbench":
+        n = int(variant) if variant else 1024
+        return lambda: build_atomic_sum(n)
+    if family == "order-sensitive":
+        n = int(variant) if variant else 512
+        return lambda: build_order_sensitive(n)
+    if family == "lock":
+        return lambda: build_lock_sum(variant or "tts", 64)
+    raise SystemExit(
+        f"unknown workload {spec!r}; see `python -m repro list`"
+    )
+
+
+def parse_arch(args) -> ArchSpec:
+    if args.arch == "baseline":
+        return ArchSpec.baseline()
+    if args.arch == "gpudet":
+        return ArchSpec.make_gpudet(GPUDetConfig(quantum_instrs=args.quantum))
+    if args.arch == "dab":
+        cfg = DABConfig(
+            buffer_level=BufferLevel.WARP if args.warp_level
+            else BufferLevel.SCHEDULER,
+            buffer_entries=args.entries,
+            scheduler="gto" if args.warp_level else args.scheduler,
+            fusion=args.fusion,
+            coalescing=args.coalescing,
+            offset_flush=args.offset,
+        )
+        return ArchSpec.make_dab(cfg)
+    raise SystemExit(f"unknown architecture {args.arch!r}")
+
+
+def cmd_run(args) -> int:
+    factory = parse_workload(args.workload)
+    arch = parse_arch(args)
+    config = PRESETS[args.preset]()
+    res = run_workload(factory, arch, gpu_config=config, seed=args.seed)
+    print(res.summary())
+    print(f"  output digest: {res.extra['output_digest'][:16]}…")
+    print(f"  stall breakdown: "
+          f"{ {k: v for k, v in res.stalls.as_dict().items() if v} }")
+    if res.gpudet_mode_cycles:
+        print(f"  GPUDet modes: {res.gpudet_mode_cycles}")
+    return 0
+
+
+def cmd_audit(args) -> int:
+    factory = parse_workload(args.workload)
+    config = PRESETS[args.preset]()
+    seeds = [int(s) for s in args.seeds.split(",")]
+    print(f"Determinism audit of {args.workload!r} over seeds {seeds}:")
+    ok = True
+    for label, arch in (
+        ("baseline", ArchSpec.baseline()),
+        ("DAB", ArchSpec.make_dab()),
+        ("GPUDet", ArchSpec.make_gpudet()),
+    ):
+        digests = {
+            run_workload(factory, arch, gpu_config=config,
+                         seed=s).extra["output_digest"]
+            for s in seeds
+        }
+        det = len(digests) == 1
+        if label != "baseline":
+            ok = ok and det
+        print(f"  {label:9s} {len(digests)} distinct digest(s) "
+              f"-> {'deterministic' if det else 'NON-deterministic'}")
+    return 0 if ok else 1
+
+
+def cmd_experiment(args) -> int:
+    try:
+        fn = EXPERIMENTS[args.name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown experiment {args.name!r}; one of {sorted(EXPERIMENTS)}"
+        )
+    kwargs = {}
+    if args.quick and "quick" in fn.__code__.co_varnames:
+        kwargs["quick"] = True
+    print(fn(**kwargs))
+    return 0
+
+
+def cmd_list(_args) -> int:
+    print("workloads:")
+    print(f"  bc:<graph>          graphs: {', '.join(TABLE2_GRAPHS)}")
+    print("  pagerank:<graph>    (same graphs; default coA)")
+    print("  sssp:<graph>        (same graphs; default FA)")
+    print(f"  conv:<layer>        layers: {', '.join(CONV_LAYER_NAMES)}")
+    print(f"                      gating variants: {', '.join(GATING_LAYERS)}")
+    print("  microbench:<n>      atomicAdd array sum")
+    print("  order-sensitive:<n> Section V validation benchmark")
+    print(f"  lock:<alg>          algorithms: {', '.join(LOCK_ALGORITHMS)}")
+    print("architectures: baseline, dab, gpudet")
+    print(f"machine presets: {', '.join(PRESETS)}")
+    print(f"experiments: {', '.join(sorted(EXPERIMENTS))}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Deterministic Atomic Buffering (MICRO 2020) reproduction",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one workload on one architecture")
+    run_p.add_argument("--workload", required=True)
+    run_p.add_argument("--arch", default="dab",
+                       choices=["baseline", "dab", "gpudet"])
+    run_p.add_argument("--preset", default="small", choices=list(PRESETS))
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--scheduler", default="gwat",
+                       choices=["srr", "gtrr", "gtar", "gwat"])
+    run_p.add_argument("--entries", type=int, default=64)
+    run_p.add_argument("--fusion", action="store_true")
+    run_p.add_argument("--coalescing", action="store_true")
+    run_p.add_argument("--offset", action="store_true")
+    run_p.add_argument("--warp-level", action="store_true")
+    run_p.add_argument("--quantum", type=int, default=200)
+    run_p.set_defaults(fn=cmd_run)
+
+    audit_p = sub.add_parser("audit", help="determinism audit across seeds")
+    audit_p.add_argument("--workload", default="order-sensitive")
+    audit_p.add_argument("--preset", default="small", choices=list(PRESETS))
+    audit_p.add_argument("--seeds", default="1,2,3")
+    audit_p.set_defaults(fn=cmd_audit)
+
+    exp_p = sub.add_parser("experiment", help="regenerate one table/figure")
+    exp_p.add_argument("name")
+    exp_p.add_argument("--quick", action="store_true")
+    exp_p.set_defaults(fn=cmd_experiment)
+
+    list_p = sub.add_parser("list", help="list workloads and experiments")
+    list_p.set_defaults(fn=cmd_list)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,283 @@
+"""DAB's deterministic buffer-flush state machine (paper Section IV-D).
+
+A flush makes every atomic buffered anywhere on the GPU globally visible
+in a deterministic order:
+
+1. **Trigger.**  A flush may start only when *every* participating
+   buffer is at a deterministic point: its sticky full bit is set, all
+   warps feeding it have exited, or all warps feeding it are blocked at
+   a barrier/fence.  (The paper states the triggers as "all buffers
+   full, kernel exit, or memory fence"; the generalization to
+   "full-or-retired-or-fenced" is the progress guarantee those triggers
+   imply — a buffer whose warps are merely slow is *not* ready, and the
+   flush waits for it, otherwise the captured entry set would depend on
+   timing.)
+2. **Pre-flush messages.**  Each participating cluster announces to
+   every memory sub-partition how many transactions to expect from each
+   SM (Fig 8a).  A sub-partition holds all arriving entries until every
+   pre-flush message has arrived.
+3. **Entry streaming.**  Each SM pushes its buffer contents through the
+   interconnect in deterministic stream order — buffers in scheduler-id
+   order, entries in buffer-index order, optionally rotated by the
+   offset-flushing optimization (Section VI-B2) and grouped into
+   coalesced transactions (Section IV-F).
+4. **Reordering.**  Each sub-partition commits transactions in
+   round-robin-across-SM order using its flush buffer (Fig 8c-d), then
+   applies the atomics serially at its ROP.
+5. **Completion.**  Flushes do not overlap: the next flush can only
+   trigger once every write-back of the previous one has been received
+   (relaxed by DAB-NR-OF / DAB-NR-CIF in the Fig 18 limitation study).
+
+While a flush is in flight, atomic issue is gated GPU-wide (the
+"implicit barrier across SMs" whose cost Fig 18 isolates); non-atomic
+instructions keep executing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.atomic_buffer import FlushTransaction
+from repro.core.dab import DABConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.gpu import GPU
+
+PRE_FLUSH_BYTES = 8
+
+
+class FlushPhase(Enum):
+    IDLE = "idle"
+    ACTIVE = "active"
+
+
+@dataclass
+class FlushStats:
+    flushes: int = 0
+    cluster_flushes: int = 0
+    entries: int = 0
+    transactions: int = 0
+    total_flush_cycles: int = 0
+    trigger_full: int = 0
+    trigger_fence: int = 0
+    trigger_drain: int = 0
+    trigger_quiesce: int = 0
+    last_completion: int = 0
+
+
+class FlushController:
+    """GPU-wide (or per-cluster, under CIF) flush orchestration."""
+
+    def __init__(self, gpu: "GPU", config: DABConfig):
+        self.gpu = gpu
+        self.config = config
+        self.stats = FlushStats()
+        self.phase = FlushPhase.IDLE
+        self._fence_requested = False
+        self._drain_requested = False
+        #: live flush rounds per cluster id (CIF) or -1 (global).
+        self._active: Dict[int, dict] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def any_active(self) -> bool:
+        return bool(self._active)
+
+    def flush_gate_blocked(self, cluster_id: int) -> bool:
+        """True if atomics of this cluster must stall for an active flush."""
+        if not self._active:
+            return False
+        if self.config.relax_cluster_flush:
+            return cluster_id in self._active
+        return True
+
+    def request_fence_flush(self) -> None:
+        """A warp executed ``membar``/``bar.sync``: flush before release."""
+        self._fence_requested = True
+
+    def request_drain_flush(self) -> None:
+        """Kernel drained with non-empty buffers."""
+        self._drain_requested = True
+
+    # ------------------------------------------------------------------
+    def maybe_trigger(self, now: int, quiesced: bool = False) -> bool:
+        """Evaluate trigger conditions; start flush(es) if met.
+
+        ``quiesced`` is set by the GPU loop when no warp can issue and no
+        timing event is pending — the deadlock-avoidance trigger (every
+        live warp is then blocked at a deterministic gate).
+        """
+        if self.config.relax_cluster_flush:
+            return self._maybe_trigger_cif(now)
+
+        if self._active and not self.config.relax_overlap_flush:
+            return False
+        sms = self.gpu.sms
+        nonempty = any(sm.any_buffer_nonempty() for sm in sms)
+        any_full = any(sm.any_buffer_full() for sm in sms)
+        want = (
+            (nonempty and any_full)
+            or (self._fence_requested)
+            or (self._drain_requested and nonempty)
+            or (quiesced and nonempty)
+        )
+        if not want:
+            if self._drain_requested and not nonempty:
+                self._drain_requested = False
+            return False
+        if not all(sm.buffers_flush_ready() for sm in sms):
+            # Not every buffer is at a deterministic point yet; under a
+            # global quiesce this cannot happen (everything is blocked),
+            # but re-check defensively.
+            if not quiesced:
+                return False
+        if any_full:
+            self.stats.trigger_full += 1
+        elif self._fence_requested:
+            self.stats.trigger_fence += 1
+        elif self._drain_requested:
+            self.stats.trigger_drain += 1
+        else:
+            self.stats.trigger_quiesce += 1
+        fence = self._fence_requested
+        self._fence_requested = False
+        self._drain_requested = False
+        self._start_flush(now, [sm.sm_id for sm in sms], fence_release=fence,
+                          key=-1 if not self.config.relax_overlap_flush
+                          else self.stats.flushes)
+        return True
+
+    def _maybe_trigger_cif(self, now: int) -> bool:
+        """DAB-NR-CIF: each cluster flushes independently when ready."""
+        started = False
+        for cluster in self.gpu.clusters:
+            cid = cluster.cluster_id
+            if cid in self._active:
+                continue
+            sms = cluster.sms
+            nonempty = any(sm.any_buffer_nonempty() for sm in sms)
+            any_full = any(sm.any_buffer_full() for sm in sms)
+            fence = self._fence_requested
+            drain = self._drain_requested and nonempty
+            if not (any_full or fence or drain):
+                continue
+            if not all(sm.buffers_flush_ready() for sm in sms):
+                continue
+            self.stats.cluster_flushes += 1
+            self._start_flush(now, [sm.sm_id for sm in sms],
+                              fence_release=fence, key=cid)
+            started = True
+        if started:
+            # Fence/drain requests are satisfied once every cluster with
+            # content has flushed; cleared lazily when all complete.
+            if all(not sm.any_buffer_nonempty() for sm in self.gpu.sms):
+                self._fence_requested = False
+                self._drain_requested = False
+        return started
+
+    # ------------------------------------------------------------------
+    def _start_flush(self, now: int, sm_ids: List[int], fence_release: bool,
+                     key: int) -> None:
+        gpu = self.gpu
+        cfg = self.config
+        self.stats.flushes += 1
+        self.phase = FlushPhase.ACTIVE
+
+        # 1. Drain buffers into per-SM deterministic transaction streams.
+        streams: Dict[int, List[FlushTransaction]] = {}
+        for sm_id in sm_ids:
+            sm = gpu.sms[sm_id]
+            offset = 0
+            if cfg.offset_flush and sm_id % 2 == 0:
+                offset = cfg.offset_entries
+            streams[sm_id] = sm.drain_dab_buffers(
+                coalesce=cfg.coalescing, offset=offset
+            )
+
+        # 2. Per-partition expected transaction counts per SM.
+        num_parts = len(gpu.partitions)
+        expected: List[Dict[int, int]] = [dict() for _ in range(num_parts)]
+        total_ops = 0
+        total_txns = 0
+        for sm_id, txns in streams.items():
+            for txn in txns:
+                p = gpu.addr_map.partition_of(txn.sector)
+                expected[p][sm_id] = expected[p].get(sm_id, 0) + 1
+                total_ops += len(txn.ops)
+                total_txns += 1
+        self.stats.entries += total_ops
+        self.stats.transactions += total_txns
+
+        state = {
+            "started": now,
+            "remaining_ops": total_ops,
+            "last_done": now,
+            "fence_release": fence_release,
+            "sm_ids": list(sm_ids),
+        }
+        self._active[key] = state
+
+        if total_ops == 0:
+            # Nothing buffered (pure fence release): complete immediately.
+            self._finish(now, key)
+            return
+
+        use_reorder = not cfg.relax_no_reorder
+        use_preflush = not cfg.relax_cluster_flush
+
+        # 3. Pre-flush messages: one per (cluster, partition).
+        pre_barrier = [now] * num_parts
+        if use_preflush:
+            clusters = sorted({gpu.sms[s].cluster_id for s in sm_ids})
+            for cid in clusters:
+                for p in range(num_parts):
+                    arr = gpu.net_fwd.send(now, cid, p, PRE_FLUSH_BYTES)
+                    pre_barrier[p] = max(pre_barrier[p], arr)
+
+        # 4. Begin rounds and stream the entries.  Under NR the reorder
+        # buffer is bypassed entirely (arrival order commits), which also
+        # permits overlapping rounds for OF/CIF.
+        if use_reorder:
+            for p in range(num_parts):
+                gpu.partitions[p].begin_flush_round(expected[p], reorder=True)
+
+        for sm_id in sorted(streams):
+            sm = gpu.sms[sm_id]
+            for txn in streams[sm_id]:
+                p = gpu.addr_map.partition_of(txn.sector)
+                arr = gpu.net_fwd.send(now, sm.cluster_id, p, txn.payload_bytes)
+                when = max(arr, pre_barrier[p])
+                gpu.schedule(
+                    when,
+                    self._entry_arrival,
+                    (key, p, sm_id, txn),
+                )
+
+    # -- event handlers -----------------------------------------------------
+    def _entry_arrival(self, now: int, args) -> None:
+        key, p, sm_id, txn = args
+        state = self._active[key]
+        if self.config.relax_no_reorder:
+            applied = self.gpu.partitions[p].apply_flush_ops(now, list(txn.ops))
+        else:
+            applied, _occ = self.gpu.partitions[p].receive_flush_entry(
+                now, sm_id, list(txn.ops)
+            )
+        for _old, done in applied:
+            state["remaining_ops"] -= 1
+            state["last_done"] = max(state["last_done"], done)
+        if state["remaining_ops"] == 0:
+            self.gpu.schedule(state["last_done"], self._finish_event, key)
+
+    def _finish_event(self, now: int, key) -> None:
+        self._finish(now, key)
+
+    def _finish(self, now: int, key: int) -> None:
+        state = self._active.pop(key)
+        self.stats.total_flush_cycles += now - state["started"]
+        self.stats.last_completion = now
+        if not self._active:
+            self.phase = FlushPhase.IDLE
+        self.gpu.on_flush_complete(now, state["fence_release"], state["started"])

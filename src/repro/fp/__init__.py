@@ -1,0 +1,32 @@
+"""Floating-point semantics used throughout the reproduction.
+
+``float32`` provides exact IEEE-754 binary32 arithmetic helpers (every
+atomic add in the simulator rounds through these, so reduction *order*
+genuinely changes results, as in paper Fig 1 / Section III-B).
+
+``decimal_toy`` implements the paper's didactic base-10, 3-digit,
+round-up floating-point format used in Figure 1.
+"""
+
+from repro.fp.float32 import (
+    f32,
+    f32_add,
+    f32_mul,
+    f32_fma,
+    f32_sum,
+    pairwise_f32_sum,
+    orderings_differ,
+)
+from repro.fp.decimal_toy import DecimalFloat, toy_reduce
+
+__all__ = [
+    "f32",
+    "f32_add",
+    "f32_mul",
+    "f32_fma",
+    "f32_sum",
+    "pairwise_f32_sum",
+    "orderings_differ",
+    "DecimalFloat",
+    "toy_reduce",
+]

@@ -1,0 +1,95 @@
+"""Paper Figure 1: base-10, 3-significant-digit toy floating point.
+
+The paper (adapting Goldberg [64]) demonstrates reduction-order
+sensitivity with a base-10 format keeping three digits of precision and
+rounding non-significant digits *up* (away from zero) after addition:
+
+    a = 1.00, b = 0.555, c = -0.555
+    (a + b) + c = 1.56 + (-0.555) = 1.01      (left ordering)
+    (b + c) + a = 0    +  1.00    = 1.00      (right ordering)
+
+``DecimalFloat`` implements exactly that arithmetic so the figure can be
+regenerated, and so tests can check the worked example digit for digit.
+"""
+
+from __future__ import annotations
+
+from decimal import ROUND_UP, Context, Decimal
+from typing import Iterable, Sequence
+
+
+class DecimalFloat:
+    """A base-10 float with fixed significant digits and round-up addition."""
+
+    __slots__ = ("_value", "_digits", "_ctx")
+
+    def __init__(self, value, digits: int = 3):
+        if digits < 1:
+            raise ValueError("need at least one significant digit")
+        self._digits = digits
+        self._ctx = Context(prec=digits, rounding=ROUND_UP)
+        self._value = self._ctx.plus(Decimal(str(value)))
+
+    @property
+    def value(self) -> Decimal:
+        return self._value
+
+    @property
+    def digits(self) -> int:
+        return self._digits
+
+    def __add__(self, other: "DecimalFloat") -> "DecimalFloat":
+        if not isinstance(other, DecimalFloat):
+            return NotImplemented
+        if other._digits != self._digits:
+            raise ValueError("cannot mix precisions")
+        out = DecimalFloat(0, self._digits)
+        out._value = self._ctx.add(self._value, other._value)
+        return out
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, DecimalFloat):
+            return self._value == other._value
+        return self._value == Decimal(str(other))
+
+    def __hash__(self) -> int:
+        return hash((self._value, self._digits))
+
+    def __repr__(self) -> str:
+        return f"DecimalFloat({self._value}, digits={self._digits})"
+
+    def __str__(self) -> str:
+        return str(self._value)
+
+
+def toy_reduce(values: Iterable, order: Sequence[int] | None = None, digits: int = 3) -> DecimalFloat:
+    """Left-to-right reduction in the toy format, optionally permuted.
+
+    Mirrors :func:`repro.fp.float32.f32_sum` but in Figure 1's base-10
+    arithmetic.  The first element seeds the accumulator (no implicit
+    zero) to match the paper's two-operand examples.
+    """
+    vals = [v if isinstance(v, DecimalFloat) else DecimalFloat(v, digits) for v in values]
+    if not vals:
+        raise ValueError("toy_reduce needs at least one value")
+    if order is not None:
+        if sorted(order) != list(range(len(vals))):
+            raise ValueError("order must be a permutation")
+        vals = [vals[i] for i in order]
+    acc = vals[0]
+    for v in vals[1:]:
+        acc = acc + v
+    return acc
+
+
+def figure1_example() -> dict:
+    """Regenerate the exact Figure 1 numbers."""
+    a, b, c = "1.00", "0.555", "-0.555"
+    left = toy_reduce([a, b, c])                     # (a + b) + c
+    right = toy_reduce([a, b, c], order=[1, 2, 0])   # (b + c) + a
+    return {
+        "inputs": (a, b, c),
+        "(a+b)+c": str(left),
+        "(b+c)+a": str(right),
+        "differ": left != right,
+    }

@@ -1,0 +1,91 @@
+"""Exact IEEE-754 binary32 arithmetic helpers.
+
+The root cause of GPU reduction non-determinism (paper Section III-B) is
+that binary32 addition is *not associative*: each operation rounds to 24
+bits of significand, so the final value of a reduction depends on the
+order in which partial sums are combined.  The simulator therefore never
+accumulates in Python floats (binary64); every atomic arithmetic op
+rounds through ``numpy.float32`` via the helpers here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def f32(x) -> np.float32:
+    """Round a value to binary32."""
+    return np.float32(x)
+
+
+def f32_add(a, b) -> np.float32:
+    """binary32 addition with round-to-nearest-even."""
+    return np.float32(np.float32(a) + np.float32(b))
+
+
+def f32_mul(a, b) -> np.float32:
+    """binary32 multiplication with round-to-nearest-even."""
+    return np.float32(np.float32(a) * np.float32(b))
+
+
+def f32_fma(a, b, c) -> np.float32:
+    """Fused multiply-add rounded once, as GPU FMA units do.
+
+    The product is formed exactly in binary64 (binary32 products are
+    exactly representable in binary64), added to ``c`` in binary64 and
+    rounded once to binary32.  This matches single-rounding FMA for all
+    inputs whose exact product+addend fits binary64's 53-bit significand,
+    which holds for the magnitudes our workloads use.
+    """
+    return np.float32(float(np.float32(a)) * float(np.float32(b)) + float(np.float32(c)))
+
+
+def f32_sum(values: Iterable, order: Sequence[int] | None = None) -> np.float32:
+    """Left-to-right binary32 reduction, optionally under a permutation.
+
+    This is the reference semantics of a serialized chain of
+    ``red.add.f32`` operations hitting one address.
+    """
+    vals = [np.float32(v) for v in values]
+    if order is not None:
+        if sorted(order) != list(range(len(vals))):
+            raise ValueError("order must be a permutation of range(len(values))")
+        vals = [vals[i] for i in order]
+    acc = np.float32(0.0)
+    for v in vals:
+        acc = f32_add(acc, v)
+    return acc
+
+
+def pairwise_f32_sum(values: Sequence) -> np.float32:
+    """Balanced-tree binary32 reduction (a deterministic alternative order)."""
+    vals = [np.float32(v) for v in values]
+    if not vals:
+        return np.float32(0.0)
+    while len(vals) > 1:
+        nxt = []
+        for i in range(0, len(vals) - 1, 2):
+            nxt.append(f32_add(vals[i], vals[i + 1]))
+        if len(vals) % 2:
+            nxt.append(vals[-1])
+        vals = nxt
+    return vals[0]
+
+
+def orderings_differ(values: Sequence, trials: int = 64, seed: int = 0) -> bool:
+    """Return True if some permutation of ``values`` sums to a different f32.
+
+    Used by tests and examples to construct order-sensitive workloads:
+    if this returns True, a non-deterministic reduction of ``values`` can
+    produce different bitwise results between runs.
+    """
+    rng = np.random.default_rng(seed)
+    base = f32_sum(values)
+    n = len(values)
+    for _ in range(trials):
+        perm = rng.permutation(n)
+        if f32_sum(values, order=list(perm)) != base:
+            return True
+    return False

@@ -1,0 +1,15 @@
+"""GPUDet: the strong-determinism prior-work baseline (paper Section III-C).
+
+GPUDet [Jooybar et al., ASPLOS 2013] makes *all* global memory
+instructions deterministic: execution proceeds in fixed-size quanta;
+stores are isolated in per-warp store buffers during *parallel mode*,
+made visible in a deterministic order during *commit mode* (accelerated
+by Z-buffer hardware), and atomics execute one warp at a time in
+*serial mode*.  The paper's Fig 3 shows serial mode dominating runtime
+for atomic-intensive workloads — the motivation for DAB.
+"""
+
+from repro.gpudet.gpudet import GPUDetConfig, GPUDetController
+from repro.gpudet.zbuffer import zbuffer_commit_cycles
+
+__all__ = ["GPUDetConfig", "GPUDetController", "zbuffer_commit_cycles"]

@@ -1,0 +1,275 @@
+"""GPUDet controller: quanta, store buffers, commit and serial modes.
+
+Execution model (paper Section III-C):
+
+* **Parallel mode** — warps run normally up to ``quantum_instrs``
+  instructions.  Global stores append to the warp's store buffer; the
+  warp's own loads see its buffered stores (others don't).  A warp ends
+  its quantum early when it reaches an atomic (which may not execute in
+  parallel mode), a barrier, or exit.
+* **Commit mode** — once every live warp has ended its quantum and all
+  in-flight memory settles, all store buffers are made globally visible
+  in deterministic warp-uid order, with timing from the Z-buffer model.
+* **Serial mode** — warps that stopped at an atomic execute that one
+  atomic instruction one warp at a time in warp-uid order, each paying
+  a full round trip; this is the serialization that makes GPUDet slow
+  on atomic-intensive workloads (Fig 3).
+
+Barriers and fences release at the start of the next parallel mode (the
+commit made the pre-barrier stores visible).  Mode cycle totals feed the
+Fig 3 execution-mode breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.arch.isa import OpClass
+from repro.arch.kernel import CTA, Kernel
+from repro.arch.warp import Warp
+from repro.memory.globalmem import GlobalMemory
+from repro.memory.store_buffer import StoreBuffer
+from repro.gpudet.zbuffer import zbuffer_commit_cycles
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.gpu import GPU
+    from repro.sim.sm import SM
+
+
+@dataclass(frozen=True)
+class GPUDetConfig:
+    quantum_instrs: int = 200
+    zbuffer_startup: int = 64
+    commit_per_entry: int = 1
+    #: cycles between consecutive serially-issued warps (issue overhead;
+    #: their memory latencies overlap because serial mode only serializes
+    #: *issue* order: "issuing warps serially in a set order", III-C)
+    serial_issue_gap: int = 8
+    #: one drain round trip at the end of serial mode
+    serial_round_trip: int = 2 * 20 + 120  # icnt both ways + L2 access
+
+    def __post_init__(self) -> None:
+        if self.quantum_instrs < 1:
+            raise ValueError("quantum must be >= 1 instruction")
+
+
+class StoreBufferView:
+    """Memory view a warp uses in parallel mode: own stores are visible."""
+
+    def __init__(self, mem: GlobalMemory, sb: StoreBuffer):
+        self._mem = mem
+        self._sb = sb
+
+    def load_many(self, addrs) -> np.ndarray:
+        out = np.empty(len(addrs), dtype=np.float64)
+        for k, a in enumerate(addrs):
+            v = self._sb.load(int(a))
+            out[k] = self._mem.load(int(a)) if v is None else v
+        return out
+
+    def store_many(self, addrs, values) -> None:
+        for a, v in zip(addrs, values):
+            self._sb.store(int(a), v)
+
+
+PARALLEL, COMMIT, SERIAL = "parallel", "commit", "serial"
+
+
+class GPUDetController:
+    def __init__(self, gpu: "GPU", config: GPUDetConfig):
+        self.gpu = gpu
+        self.config = config
+        self.mode = PARALLEL
+        self.mode_cycles: Dict[str, int] = {PARALLEL: 0, COMMIT: 0, SERIAL: 0}
+        self._mode_started = 0
+        self._store_buffers: Dict[int, StoreBuffer] = {}
+        self._views: Dict[int, StoreBufferView] = {}
+        self._quantum_used: Dict[int, int] = {}
+        self._reason: Dict[int, Optional[str]] = {}
+        self._quanta = 0
+
+    # ------------------------------------------------------------------
+    def begin_kernel(self, kernel: Kernel) -> None:
+        pass  # state is per-warp and created lazily
+
+    def on_cta_placed(self, cta: CTA, sm: "SM") -> None:
+        pass
+
+    def _state_for(self, warp: Warp) -> None:
+        if warp.uid not in self._store_buffers:
+            self._store_buffers[warp.uid] = StoreBuffer()
+            self._views[warp.uid] = StoreBufferView(
+                self.gpu.mem, self._store_buffers[warp.uid]
+            )
+            self._quantum_used[warp.uid] = 0
+            self._reason[warp.uid] = None
+
+    def mem_view(self, warp: Warp) -> StoreBufferView:
+        self._state_for(warp)
+        return self._views[warp.uid]
+
+    # ------------------------------------------------------------------
+    # Issue gating & accounting.
+    # ------------------------------------------------------------------
+    def can_issue(self, warp: Warp) -> bool:
+        if self.mode != PARALLEL:
+            return False
+        self._state_for(warp)
+        if self._reason[warp.uid] is not None:
+            return False
+        if warp.next_is_atomic():
+            # Atomics may not execute in parallel mode: end the quantum.
+            self._reason[warp.uid] = "atomic"
+            return False
+        return True
+
+    def after_step(self, now: int, warp: Warp, result) -> None:
+        self._state_for(warp)
+        self._quantum_used[warp.uid] += 1
+        if result.exited:
+            self._reason[warp.uid] = "exit"
+        elif result.barrier or result.fence:
+            self._reason[warp.uid] = "barrier"
+        elif self._quantum_used[warp.uid] >= self.config.quantum_instrs:
+            self._reason[warp.uid] = "budget"
+
+    # ------------------------------------------------------------------
+    # Quantum state machine.
+    # ------------------------------------------------------------------
+    def tick(self, now: int) -> bool:
+        if self.mode != PARALLEL:
+            return False
+        live = [w for sm in self.gpu.sms for w in sm.live_warps()]
+        if not live:
+            # Kernel drain: final commit of any leftover stores.
+            if any(not sb.empty for sb in self._store_buffers.values()):
+                self._enter_commit(now, live)
+                return True
+            return False
+        for w in live:
+            self._state_for(w)
+            if w.at_barrier:
+                continue  # its quantum ended with 'barrier'
+            if self._reason[w.uid] is None:
+                return False
+            if w.outstanding_loads or w.outstanding_atoms:
+                return False
+        if any(w.outstanding_loads or w.outstanding_atoms for w in live):
+            return False
+        self._enter_commit(now, live)
+        return True
+
+    def _enter_commit(self, now: int, live: List[Warp]) -> None:
+        self.mode_cycles[PARALLEL] += now - self._mode_started
+        self.mode = COMMIT
+        self._mode_started = now
+        self._quanta += 1
+
+        # Deterministic commit: warp-uid order; Z-buffer resolves
+        # same-address conflicts by the same order (later uid wins).
+        num_parts = len(self.gpu.partitions)
+        per_part = [0] * num_parts
+        for uid in sorted(self._store_buffers):
+            sb = self._store_buffers[uid]
+            for addr, value in sb.drain():
+                self.gpu.mem.store(addr, value)
+                per_part[self.gpu.addr_map.partition_of(addr)] += 1
+        cycles = zbuffer_commit_cycles(
+            per_part,
+            startup=self.config.zbuffer_startup,
+            per_entry=self.config.commit_per_entry,
+        )
+        self.gpu.schedule(now + max(1, cycles), self._commit_done, None)
+
+    def _commit_done(self, now: int, _args) -> None:
+        self.mode_cycles[COMMIT] += now - self._mode_started
+        self.mode = SERIAL
+        self._mode_started = now
+        t = now
+
+        # Serial mode: warps stopped at an atomic run it one warp at a
+        # time, in warp-uid order.
+        pending = [
+            w
+            for sm in self.gpu.sms
+            for w in sm.live_warps()
+            if self._reason.get(w.uid) == "atomic"
+        ]
+        pending.sort(key=lambda w: w.uid)
+        last_done = now
+        for w in pending:
+            if not w.next_is_atomic():
+                continue  # guarded off since
+            sm = self.gpu.sms[w.sm_id]
+            result = w.step(self.gpu.mem)
+            sm.instructions += 1
+            sm.atomics += 1
+            self._quantum_used[w.uid] += 1
+            spec = result.mem
+            t += self.config.serial_issue_gap
+            if spec is not None:
+                # Warps *issue* serially; per-partition ROPs serialize
+                # the actual operations (rop._free), and the memory
+                # latencies of consecutive warps overlap.
+                for op in spec.red_ops:
+                    p = self.gpu.addr_map.partition_of(op.addr)
+                    _old, done = self.gpu.partitions[p].service_atomic(t, op)
+                    last_done = max(last_done, done)
+                for lane, op in spec.atom_ops:
+                    p = self.gpu.addr_map.partition_of(op.addr)
+                    old, done = self.gpu.partitions[p].service_atomic(t, op)
+                    last_done = max(last_done, done)
+                    if spec.atom_dst is not None:
+                        w.write_atom_result(spec.atom_dst, lane, old)
+        if pending:
+            last_done += self.config.serial_round_trip
+        self.gpu.schedule(max(t, last_done, now + 1), self._serial_done, None)
+
+    def _serial_done(self, now: int, _args) -> None:
+        self.mode_cycles[SERIAL] += now - self._mode_started
+        self.mode = PARALLEL
+        self._mode_started = now
+        # New quantum: reset budgets and reasons; release arrived barriers
+        # (their stores are now committed and visible).
+        for uid in self._quantum_used:
+            self._quantum_used[uid] = 0
+        for uid in self._reason:
+            if self._reason[uid] != "exit":
+                self._reason[uid] = None
+        self._release_barriers(now)
+        for sm in self.gpu.sms:
+            for w in sm.live_warps():
+                w.ready_cycle = max(w.ready_cycle, now)
+
+    def _release_barriers(self, now: int) -> None:
+        for sm in self.gpu.sms:
+            done = []
+            for cta in sm._barrier_ctas:  # noqa: SLF001
+                warps = [w for w in sm.all_warps() if w.cta is cta and not w.done]
+                if warps and all(w.at_barrier for w in warps):
+                    for w in warps:
+                        w.at_barrier = False
+                        self._reason[w.uid] = None
+                        w.ready_cycle = max(w.ready_cycle, now + 1)
+                    done.append(cta)
+            for cta in done:
+                sm._barrier_ctas.remove(cta)  # noqa: SLF001
+            still = []
+            for w in sm._fence_warps:  # noqa: SLF001
+                w.at_barrier = False
+                self._reason[w.uid] = None
+                w.ready_cycle = max(w.ready_cycle, now + 1)
+            sm._fence_warps = still  # noqa: SLF001
+
+    # ------------------------------------------------------------------
+    def drained(self) -> bool:
+        return self.mode == PARALLEL and all(
+            sb.empty for sb in self._store_buffers.values()
+        )
+
+    def finalize(self, now: int) -> None:
+        self.mode_cycles[self.mode] += now - self._mode_started
+        self._mode_started = now

@@ -1,0 +1,7 @@
+"""Benchmark harness: run (workload, architecture) pairs, regenerate
+every table and figure of the paper (see DESIGN.md §4 for the index)."""
+
+from repro.harness.runner import ArchSpec, run_workload
+from repro.harness.report import Table, geomean
+
+__all__ = ["ArchSpec", "run_workload", "Table", "geomean"]

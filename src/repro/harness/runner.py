@@ -1,0 +1,84 @@
+"""Run one workload on one architecture variant."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.config import GPUConfig
+from repro.core.dab import DABConfig
+from repro.gpudet.gpudet import GPUDetConfig
+from repro.sim.gpu import GPU
+from repro.sim.nondet import JitterSource
+from repro.sim.results import SimResult
+from repro.workloads import Workload
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """One architecture variant to evaluate."""
+
+    kind: str                       # "baseline" | "dab" | "gpudet"
+    dab: Optional[DABConfig] = None
+    gpudet: Optional[GPUDetConfig] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("baseline", "dab", "gpudet"):
+            raise ValueError(f"unknown architecture kind {self.kind!r}")
+        if self.kind == "dab" and self.dab is None:
+            object.__setattr__(self, "dab", DABConfig.paper_default())
+        if self.kind == "gpudet" and self.gpudet is None:
+            object.__setattr__(self, "gpudet", GPUDetConfig())
+        if not self.label:
+            if self.kind == "dab":
+                object.__setattr__(self, "label", "DAB-" + self.dab.label)
+            else:
+                object.__setattr__(self, "label", self.kind)
+
+    @classmethod
+    def baseline(cls) -> "ArchSpec":
+        return cls("baseline", label="baseline")
+
+    @classmethod
+    def make_dab(cls, config: Optional[DABConfig] = None, label: str = "") -> "ArchSpec":
+        return cls("dab", dab=config or DABConfig.paper_default(), label=label)
+
+    @classmethod
+    def make_gpudet(cls, config: Optional[GPUDetConfig] = None) -> "ArchSpec":
+        return cls("gpudet", gpudet=config or GPUDetConfig(), label="GPUDet")
+
+
+def run_workload(
+    factory: Callable[[], Workload],
+    arch: ArchSpec,
+    gpu_config: Optional[GPUConfig] = None,
+    seed: int = 1,
+    jitter: bool = True,
+    jitter_dram: int = 16,
+    jitter_icnt: int = 6,
+    max_cycles: Optional[int] = None,
+) -> SimResult:
+    """Build a fresh workload instance and run it to completion.
+
+    Returns the cumulative :class:`SimResult` with ``label`` set to the
+    architecture's label and the workload's output digest recorded in
+    ``extra['output_digest']`` (the determinism check).
+    """
+    workload = factory()
+    gpu = GPU(
+        gpu_config or GPUConfig.small(),
+        workload.mem,
+        dab=arch.dab if arch.kind == "dab" else None,
+        gpudet=arch.gpudet if arch.kind == "gpudet" else None,
+        jitter=JitterSource(seed, dram_max=jitter_dram, icnt_max=jitter_icnt)
+        if jitter else None,
+    )
+    if max_cycles is not None:
+        original_run = gpu.run
+        gpu.run = lambda mc=max_cycles: original_run(max_cycles=mc)  # type: ignore[method-assign]
+    result = workload.drive(gpu)
+    result.label = arch.label
+    result.extra["output_digest"] = workload.output_digest()
+    result.extra["workload"] = workload.name
+    return result

@@ -1,0 +1,5 @@
+"""Interconnection network between compute clusters and memory partitions."""
+
+from repro.interconnect.network import Network, NetworkStats
+
+__all__ = ["Network", "NetworkStats"]

@@ -1,0 +1,35 @@
+"""Memory hierarchy substrate.
+
+* ``globalmem`` — functional global memory (buffers, typed accessors,
+  exact-f32 atomic application).
+* ``address`` — byte/sector/line/partition address arithmetic.
+* ``cache`` — set-associative sectored cache with LRU (L1 and L2).
+* ``dram`` — DRAM latency/bandwidth queue.
+* ``rop`` — the raster-op unit that applies atomics serially.
+* ``partition`` — a memory sub-partition: L2 + ROP + DRAM plus DAB's
+  deterministic flush-reorder logic.
+* ``flush_buffer`` — DAB's reorder buffer for out-of-order flush arrivals.
+* ``store_buffer`` — GPUDet's per-warp store buffer.
+"""
+
+from repro.memory.globalmem import GlobalMemory, AtomicOp
+from repro.memory.address import AddressMap
+from repro.memory.cache import SectorCache, CacheStats
+from repro.memory.dram import DRAMModel
+from repro.memory.rop import ROPUnit
+from repro.memory.flush_buffer import FlushReorderBuffer
+from repro.memory.store_buffer import StoreBuffer
+from repro.memory.partition import MemoryPartition
+
+__all__ = [
+    "GlobalMemory",
+    "AtomicOp",
+    "AddressMap",
+    "SectorCache",
+    "CacheStats",
+    "DRAMModel",
+    "ROPUnit",
+    "FlushReorderBuffer",
+    "StoreBuffer",
+    "MemoryPartition",
+]

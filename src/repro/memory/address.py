@@ -1,0 +1,31 @@
+"""Address arithmetic: lines, sectors, and memory-partition hashing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Byte-address decomposition used by caches and the interconnect.
+
+    Lines are interleaved across memory partitions at line granularity
+    (the standard GPGPU-Sim scheme), so consecutive cache lines map to
+    consecutive partitions.
+    """
+
+    line_bytes: int = 128
+    sector_bytes: int = 32
+    num_partitions: int = 24
+
+    def line_of(self, addr: int) -> int:
+        return addr // self.line_bytes * self.line_bytes
+
+    def sector_of(self, addr: int) -> int:
+        return addr // self.sector_bytes * self.sector_bytes
+
+    def sector_index_in_line(self, addr: int) -> int:
+        return (addr % self.line_bytes) // self.sector_bytes
+
+    def partition_of(self, addr: int) -> int:
+        return (addr // self.line_bytes) % self.num_partitions

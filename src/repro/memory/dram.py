@@ -1,0 +1,66 @@
+"""DRAM channel timing model: fixed latency + bandwidth-limited queue.
+
+Each memory partition owns one channel.  A request accepted at cycle *t*
+completes at ``max(t, channel_free) + latency (+ jitter)``; the channel
+then stays busy for ``1/bandwidth`` cycles.  The request queue has the
+Table I capacity (32); when full, accepts are delayed, which backs up
+into the L2/ROP and ultimately stalls warps — the congestion effect the
+paper's flush experiments (Figs 12, 16) rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass
+class DRAMStats:
+    requests: int = 0
+    busy_cycles: int = 0
+    max_queue: int = 0
+
+
+class DRAMModel:
+    def __init__(
+        self,
+        latency: int,
+        queue_capacity: int,
+        service_interval: int = 1,
+        jitter: Optional[Callable[[], int]] = None,
+    ):
+        if latency < 1 or queue_capacity < 1 or service_interval < 1:
+            raise ValueError("DRAM parameters must be positive")
+        self.latency = latency
+        self.queue_capacity = queue_capacity
+        self.service_interval = service_interval
+        self.jitter = jitter
+        self.stats = DRAMStats()
+        self._channel_free = 0
+        self._in_queue = 0
+
+    def accept(self, now: int) -> int:
+        """Accept one request; return its completion cycle."""
+        start = max(now, self._channel_free)
+        # Model queue pressure: with the queue full, the request waits an
+        # extra service interval per queued request beyond capacity.
+        backlog = max(0, self._in_queue - self.queue_capacity)
+        start += backlog * self.service_interval
+        jitter = self.jitter() if self.jitter is not None else 0
+        done = start + self.latency + jitter
+        self._channel_free = start + self.service_interval
+        self._in_queue += 1
+        self.stats.requests += 1
+        self.stats.busy_cycles += self.service_interval
+        self.stats.max_queue = max(self.stats.max_queue, self._in_queue)
+        return done
+
+    def retire(self) -> None:
+        """Caller signals a previously accepted request has completed."""
+        if self._in_queue <= 0:
+            raise RuntimeError("DRAM retire without outstanding request")
+        self._in_queue -= 1
+
+    @property
+    def outstanding(self) -> int:
+        return self._in_queue

@@ -1,0 +1,195 @@
+"""Functional global memory with exact binary32 atomic semantics.
+
+All values live in typed numpy buffers.  Every floating-point atomic is
+applied through :mod:`repro.fp.float32`, so the *order* in which atomics
+reach memory changes the bitwise result exactly as on real hardware
+(paper Section III-B).  The timing model decides *when* an atomic is
+applied; this module defines *what* it does.
+
+Addresses are byte addresses; every element is one 4-byte word.  Integer
+buffers use 64-bit storage (the simulator does not model 32-bit
+wraparound; workloads stay far from 2**31).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.fp.float32 import f32_add
+
+WORD_BYTES = 4
+
+#: Base of the first allocation; address 0 is reserved as "null".
+_HEAP_BASE = 0x1000
+
+
+@dataclass(frozen=True)
+class AtomicOp:
+    """A single atomic operation destined for one word of memory.
+
+    ``opcode`` is the mini-PTX suffix, e.g. ``add.f32`` / ``max.s32`` /
+    ``exch.s32`` / ``cas.s32``.  ``operands`` carries (value,) for most
+    ops and (compare, value) for CAS.
+    """
+
+    addr: int
+    opcode: str
+    operands: Tuple[float, ...]
+
+    @property
+    def is_reduction(self) -> bool:
+        """True if the op is a pure reduction (fusable by DAB)."""
+        return self.opcode.split(".")[0] in ("add", "min", "max")
+
+
+class _Buffer:
+    __slots__ = ("name", "base", "data", "is_float")
+
+    def __init__(self, name: str, base: int, data: np.ndarray, is_float: bool):
+        self.name = name
+        self.base = base
+        self.data = data
+        self.is_float = is_float
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data) * WORD_BYTES
+
+
+class GlobalMemory:
+    """Flat byte-addressed memory composed of named typed buffers."""
+
+    def __init__(self) -> None:
+        self._buffers: List[_Buffer] = []
+        self._bases: List[int] = []
+        self._by_name: Dict[str, _Buffer] = {}
+        self._next_base = _HEAP_BASE
+
+    # -- allocation -----------------------------------------------------
+    def alloc(self, name: str, n: int, dtype: str = "f32", init=None) -> int:
+        """Allocate ``n`` words; returns the base byte address.
+
+        ``dtype`` is ``"f32"`` or ``"s32"``.  Buffers are aligned to a
+        128-byte cache line so that sector behaviour matches layout.
+        """
+        if name in self._by_name:
+            raise ValueError(f"buffer {name!r} already allocated")
+        if n <= 0:
+            raise ValueError("buffer size must be positive")
+        if dtype == "f32":
+            data = np.zeros(n, dtype=np.float32)
+            is_float = True
+        elif dtype in ("s32", "s64"):
+            data = np.zeros(n, dtype=np.int64)
+            is_float = False
+        else:
+            raise ValueError(f"unsupported dtype {dtype!r}")
+        if init is not None:
+            arr = np.asarray(init)
+            if arr.shape != (n,):
+                raise ValueError("init shape mismatch")
+            data[:] = arr.astype(data.dtype)
+        base = self._next_base
+        buf = _Buffer(name, base, data, is_float)
+        self._buffers.append(buf)
+        self._bases.append(base)
+        self._by_name[name] = buf
+        end = base + n * WORD_BYTES
+        self._next_base = (end + 127) // 128 * 128  # line-align next buffer
+        return base
+
+    def buffer(self, name: str) -> np.ndarray:
+        """Direct (host-side) view of a buffer's storage."""
+        return self._by_name[name].data
+
+    def base_of(self, name: str) -> int:
+        return self._by_name[name].base
+
+    # -- address resolution ----------------------------------------------
+    def _locate(self, addr: int) -> Tuple[_Buffer, int]:
+        if addr % WORD_BYTES:
+            raise ValueError(f"unaligned word address {addr:#x}")
+        i = bisect_right(self._bases, addr) - 1
+        if i < 0:
+            raise ValueError(f"address {addr:#x} below heap")
+        buf = self._buffers[i]
+        if addr >= buf.end:
+            raise ValueError(f"address {addr:#x} out of bounds (after {buf.name!r})")
+        return buf, (addr - buf.base) // WORD_BYTES
+
+    # -- scalar access ----------------------------------------------------
+    def load(self, addr: int) -> float:
+        buf, idx = self._locate(int(addr))
+        return buf.data[idx]
+
+    def store(self, addr: int, value) -> None:
+        buf, idx = self._locate(int(addr))
+        buf.data[idx] = value
+
+    # -- vector access (per-warp lanes) ------------------------------------
+    def load_many(self, addrs: np.ndarray) -> np.ndarray:
+        """Gather; returns float64 array of raw values (caller casts)."""
+        out = np.empty(len(addrs), dtype=np.float64)
+        for k, a in enumerate(addrs):
+            out[k] = self.load(int(a))
+        return out
+
+    def store_many(self, addrs: np.ndarray, values: np.ndarray) -> None:
+        for a, v in zip(addrs, values):
+            self.store(int(a), v)
+
+    # -- atomics -----------------------------------------------------------
+    def apply_atomic(self, op: AtomicOp) -> float:
+        """Apply one atomic op, returning the *old* value.
+
+        f32 adds round to binary32 per operation; min/max are exact.
+        """
+        buf, idx = self._locate(op.addr)
+        old = buf.data[idx]
+        root, dtype = op.opcode.split(".")
+        if root == "add":
+            if dtype == "f32":
+                buf.data[idx] = f32_add(old, op.operands[0])
+            else:
+                buf.data[idx] = int(old) + int(op.operands[0])
+        elif root == "min":
+            buf.data[idx] = min(old, _coerce(op.operands[0], dtype))
+        elif root == "max":
+            buf.data[idx] = max(old, _coerce(op.operands[0], dtype))
+        elif root == "exch":
+            buf.data[idx] = _coerce(op.operands[0], dtype)
+        elif root == "cas":
+            compare, val = op.operands
+            if old == _coerce(compare, dtype):
+                buf.data[idx] = _coerce(val, dtype)
+        elif root == "inc":
+            buf.data[idx] = int(old) + 1
+        else:
+            raise ValueError(f"unsupported atomic opcode {op.opcode!r}")
+        return old
+
+    # -- determinism auditing ----------------------------------------------
+    def snapshot_digest(self, names: Optional[List[str]] = None) -> str:
+        """SHA-256 of the bitwise contents of the named (or all) buffers.
+
+        Two runs are bitwise identical iff digests match — this is the
+        determinism check used throughout tests and examples.
+        """
+        h = hashlib.sha256()
+        for buf in self._buffers:
+            if names is not None and buf.name not in names:
+                continue
+            h.update(buf.name.encode())
+            h.update(buf.data.tobytes())
+        return h.hexdigest()
+
+
+def _coerce(value, dtype: str):
+    if dtype == "f32":
+        return np.float32(value)
+    return int(value)

@@ -1,0 +1,60 @@
+"""GPUDet's per-warp store buffer (paper Section III-C).
+
+In GPUDet's parallel mode, global stores are appended to a per-warp
+store buffer instead of being written to memory; loads must observe the
+warp's own buffered stores.  At a quantum boundary, commit mode drains
+every buffer to memory in a deterministic order (warp-id order, with
+Z-buffer hardware resolving same-address conflicts in our model by the
+same order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class StoreBufferStats:
+    stores: int = 0
+    load_hits: int = 0
+    commits: int = 0
+    max_entries: int = 0
+
+
+class StoreBuffer:
+    """Address -> latest buffered value, plus append order for stats."""
+
+    def __init__(self) -> None:
+        self._data: Dict[int, float] = {}
+        self._order: List[int] = []
+        self.stats = StoreBufferStats()
+
+    def store(self, addr: int, value) -> None:
+        if addr not in self._data:
+            self._order.append(addr)
+        self._data[addr] = value
+        self.stats.stores += 1
+        self.stats.max_entries = max(self.stats.max_entries, len(self._data))
+
+    def load(self, addr: int):
+        """Return the buffered value or None (load must go to memory)."""
+        if addr in self._data:
+            self.stats.load_hits += 1
+            return self._data[addr]
+        return None
+
+    def drain(self) -> List[Tuple[int, float]]:
+        """Pop all entries in append order (commit mode)."""
+        out = [(a, self._data[a]) for a in self._order]
+        self._data.clear()
+        self._order.clear()
+        self.stats.commits += 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def empty(self) -> bool:
+        return not self._data

@@ -1,0 +1,29 @@
+"""Cycle-level GPU timing simulator.
+
+``gpu.GPU`` is the top-level machine: clusters of SMs, an interconnect,
+and memory partitions, driven by an event-accelerated cycle loop.  It
+runs in three architectural modes:
+
+* baseline non-deterministic GPU (GTO scheduling, atomics applied at the
+  ROP in arrival order);
+* **DAB** (pass a :class:`repro.core.dab.DABConfig`);
+* **GPUDet** (pass a :class:`repro.gpudet.GPUDetConfig`).
+
+``nondet.JitterSource`` injects seeded latency jitter modelling real
+hardware's timing non-determinism; determinism claims are always stated
+as "bitwise identical results across jitter seeds".
+"""
+
+from repro.sim.nondet import JitterSource
+from repro.sim.results import SimResult, StallBreakdown
+from repro.sim.dispatcher import CTADispatcher
+from repro.sim.gpu import GPU, SimulationError
+
+__all__ = [
+    "JitterSource",
+    "SimResult",
+    "StallBreakdown",
+    "CTADispatcher",
+    "GPU",
+    "SimulationError",
+]

@@ -1,0 +1,16 @@
+"""Compute cluster: a group of SMs sharing one interconnect port."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.sm import SM
+
+
+class Cluster:
+    def __init__(self, cluster_id: int, sms: List[SM]):
+        self.cluster_id = cluster_id
+        self.sms = sms
+
+    def __repr__(self) -> str:
+        return f"Cluster({self.cluster_id}, sms={[s.sm_id for s in self.sms]})"

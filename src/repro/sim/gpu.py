@@ -1,0 +1,477 @@
+"""Top-level GPU simulator: the event-accelerated cycle loop.
+
+The machine is built from the substrate pieces (SMs, crossbar networks,
+memory partitions) and optionally one of the two deterministic
+architectures:
+
+* ``dab=DABConfig(...)``   — Deterministic Atomic Buffering (the paper);
+* ``gpudet=GPUDetConfig(...)`` — the GPUDet strong-determinism baseline.
+
+Timing advances with a cycle counter plus an event heap; when no warp
+can issue, the loop fast-forwards to the next event or warp-ready time,
+so long memory latencies cost O(1) host time.  Functional state lives in
+one shared :class:`~repro.memory.globalmem.GlobalMemory`, so multiple
+kernels launched in sequence (e.g. BC's per-level kernels) see each
+other's results exactly as on a real GPU.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional
+
+from repro.arch.kernel import CTA, Kernel
+from repro.arch.warp import MemRequestSpec, Warp
+from repro.config import GPUConfig
+from repro.core.dab import DABConfig
+from repro.core.flush import FlushController
+from repro.interconnect.network import Network
+from repro.memory.address import AddressMap
+from repro.memory.globalmem import GlobalMemory
+from repro.memory.partition import MemoryPartition
+from repro.sim.cluster import Cluster
+from repro.sim.dispatcher import CTADispatcher
+from repro.sim.nondet import JitterSource
+from repro.sim.results import SimResult, StallBreakdown
+from repro.sim.sm import SM
+
+SECTOR_BYTES = 32
+REQUEST_BYTES = 8
+RESPONSE_BYTES = 32
+
+
+class SimulationError(RuntimeError):
+    """Deadlock, unsupported construct, or exceeded cycle limit."""
+
+
+class GPU:
+    def __init__(
+        self,
+        config: GPUConfig,
+        mem: GlobalMemory,
+        dab: Optional[DABConfig] = None,
+        gpudet=None,
+        jitter: Optional[JitterSource] = None,
+        deterministic_dispatch: Optional[bool] = None,
+        model_virtual_write_queue: bool = False,
+    ):
+        if dab is not None and gpudet is not None:
+            raise ValueError("choose at most one of dab / gpudet")
+        if dab is not None and dab.buffer_entries < config.warp_size:
+            # Paper IV-B: a buffer needs "at least 32 entries to support
+            # all 32 threads in the warp performing an atomic"; smaller
+            # buffers could never accept a full warp request.
+            raise ValueError(
+                f"DAB buffers need >= warp_size ({config.warp_size}) entries, "
+                f"got {dab.buffer_entries}"
+            )
+        self.config = config
+        self.mem = mem
+        self.dab = dab
+        self.jitter = jitter
+        self.addr_map = AddressMap(
+            line_bytes=config.l2_cache_per_partition.line_bytes,
+            sector_bytes=config.l2_cache_per_partition.sector_bytes,
+            num_partitions=config.num_mem_partitions,
+        )
+
+        dram_jitter = jitter.dram if jitter is not None else None
+        icnt_jitter = jitter.icnt if jitter is not None else None
+        self.partitions = [
+            MemoryPartition(
+                p, config, mem, dram_jitter=dram_jitter,
+                model_virtual_write_queue=model_virtual_write_queue,
+            )
+            for p in range(config.num_mem_partitions)
+        ]
+        self.net_fwd = Network(
+            config.num_clusters, config.num_mem_partitions,
+            latency=config.icnt_latency, flit_bytes=config.icnt_flit_bytes,
+            dst_bandwidth=config.icnt_bandwidth_per_cycle,
+            input_buffer_flits=config.icnt_input_buffer_size,
+            jitter=icnt_jitter,
+        )
+        self.net_rev = Network(
+            config.num_mem_partitions, config.num_clusters,
+            latency=config.icnt_latency, flit_bytes=config.icnt_flit_bytes,
+            dst_bandwidth=config.icnt_bandwidth_per_cycle,
+            input_buffer_flits=config.icnt_input_buffer_size,
+            jitter=icnt_jitter,
+        )
+
+        # GPUDet controller (constructed before SMs: they consult it).
+        self.gpudet = None
+        if gpudet is not None:
+            from repro.gpudet.gpudet import GPUDetController
+
+            self.gpudet = GPUDetController(self, gpudet)
+
+        self.sms: List[SM] = []
+        self.clusters: List[Cluster] = []
+        for cid in range(config.num_clusters):
+            members = []
+            for i in range(config.sms_per_cluster):
+                sm = SM(cid * config.sms_per_cluster + i, cid, self)
+                members.append(sm)
+                self.sms.append(sm)
+            self.clusters.append(Cluster(cid, members))
+
+        self.flush: Optional[FlushController] = None
+        if dab is not None:
+            self.flush = FlushController(self, dab)
+
+        if deterministic_dispatch is None:
+            deterministic_dispatch = dab is not None or self.gpudet is not None
+        self.dispatcher = CTADispatcher(self.sms, deterministic_dispatch)
+
+        # Event heap.
+        self._heap: list = []
+        self._seq = 0
+        self.cycle = 0
+
+        # Kernel sequencing / completion tracking.
+        self._queue: List[Kernel] = []
+        self._current: Optional[Kernel] = None
+        self._ctas_done = 0
+        self._warp_uid = 0
+        self.kernels_run = 0
+
+        # Outstanding-work counters (kernel completion conditions).
+        self.pending_atomic_packets = 0
+        self.pending_store_acks = 0
+        self.last_atomic_done = 0
+
+    # ------------------------------------------------------------------
+    # Plumbing used by SMs and controllers.
+    # ------------------------------------------------------------------
+    def next_warp_uid(self) -> int:
+        self._warp_uid += 1
+        return self._warp_uid
+
+    def schedule(self, when: int, fn: Callable, args=None) -> None:
+        if when < self.cycle:
+            when = self.cycle
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, fn, args))
+
+    def mem_view_for(self, warp: Warp):
+        if self.gpudet is not None:
+            return self.gpudet.mem_view(warp)
+        return self.mem
+
+    # -- loads -------------------------------------------------------------
+    def send_load_miss(self, now: int, sm: SM, warp: Warp, sector: int) -> None:
+        p = self.addr_map.partition_of(sector)
+        arr = self.net_fwd.send(now, sm.cluster_id, p, REQUEST_BYTES)
+        self.schedule(arr, self._load_at_partition, (p, sm, warp, sector))
+
+    def _load_at_partition(self, now: int, args) -> None:
+        p, sm, warp, sector = args
+        done, hit = self.partitions[p].service_request(now, sector, is_write=False)
+        if not hit:
+            self.schedule(done, self._retire_dram, p)
+        rsp = self.net_rev.send(done, p, sm.cluster_id, RESPONSE_BYTES)
+        self.schedule(rsp, self._load_response, warp)
+
+    def _retire_dram(self, now: int, p: int) -> None:
+        self.partitions[p].retire_dram()
+
+    def _load_response(self, now: int, warp: Warp) -> None:
+        warp.outstanding_loads -= 1
+        if warp.outstanding_loads == 0:
+            warp.ready_cycle = max(warp.ready_cycle, now + 1)
+
+    # -- stores ---------------------------------------------------------------
+    def send_store(self, now: int, sm: SM, warp: Warp, sector: int) -> None:
+        p = self.addr_map.partition_of(sector)
+        self.pending_store_acks += 1
+        arr = self.net_fwd.send(now, sm.cluster_id, p, RESPONSE_BYTES)
+        self.schedule(arr, self._store_at_partition, (p, warp, sector))
+
+    def _store_at_partition(self, now: int, args) -> None:
+        p, warp, sector = args
+        done, hit = self.partitions[p].service_request(now, sector, is_write=True)
+        if not hit:
+            self.schedule(done, self._retire_dram, p)
+        self.schedule(done, self._store_ack, warp)
+
+    def _store_ack(self, now: int, warp: Warp) -> None:
+        warp.outstanding_stores -= 1
+        self.pending_store_acks -= 1
+
+    # -- baseline (non-deterministic) atomics ----------------------------------
+    def issue_baseline_red(self, now: int, sm: SM, warp: Warp, spec: MemRequestSpec) -> None:
+        """Fire-and-forget reduction: applied at the ROP in arrival order.
+
+        The baseline GPU coalesces atomics into one transaction per
+        sector (paper IV-F), so lanes hitting the same sector share a
+        packet; application order within a packet is lane order, across
+        packets it is (jitter-dependent) arrival order.
+        """
+        groups: Dict[int, list] = {}
+        for op in spec.red_ops:
+            groups.setdefault(self.addr_map.sector_of(op.addr), []).append(op)
+        for sector in sorted(groups):
+            ops = groups[sector]
+            p = self.addr_map.partition_of(sector)
+            self.pending_atomic_packets += 1
+            arr = self.net_fwd.send(
+                now, sm.cluster_id, p, REQUEST_BYTES + 9 * len(ops)
+            )
+            self.schedule(arr, self._red_at_partition, (p, ops))
+
+    def _red_at_partition(self, now: int, args) -> None:
+        p, ops = args
+        for op in ops:
+            _old, done = self.partitions[p].service_atomic(now, op)
+            self.last_atomic_done = max(self.last_atomic_done, done)
+        self.pending_atomic_packets -= 1
+
+    # -- returning atomics (locks; baseline/GPUDet-serial only) ----------------
+    def issue_atom(self, now: int, sm: SM, warp: Warp, spec: MemRequestSpec) -> None:
+        groups: Dict[int, list] = {}
+        for lane, op in spec.atom_ops:
+            groups.setdefault(self.addr_map.sector_of(op.addr), []).append((lane, op))
+        warp.outstanding_atoms += len(groups)
+        for sector in sorted(groups):
+            items = groups[sector]
+            p = self.addr_map.partition_of(sector)
+            arr = self.net_fwd.send(
+                now, sm.cluster_id, p, REQUEST_BYTES + 9 * len(items)
+            )
+            self.schedule(
+                arr, self._atom_at_partition, (p, sm, warp, spec.atom_dst, items)
+            )
+
+    def _atom_at_partition(self, now: int, args) -> None:
+        p, sm, warp, dst, items = args
+        last = now
+        results = []
+        for lane, op in items:
+            old, done = self.partitions[p].service_atomic(now, op)
+            results.append((lane, old))
+            last = max(last, done)
+        rsp = self.net_rev.send(last, p, sm.cluster_id, RESPONSE_BYTES)
+        self.schedule(rsp, self._atom_response, (warp, dst, results))
+
+    def _atom_response(self, now: int, args) -> None:
+        warp, dst, results = args
+        for lane, old in results:
+            if dst is not None:
+                warp.write_atom_result(dst, lane, old)
+        warp.outstanding_atoms -= 1
+        if warp.outstanding_atoms == 0:
+            warp.ready_cycle = max(warp.ready_cycle, now + 1)
+
+    # -- notifications ------------------------------------------------------------
+    def on_cta_done(self, now: int, cta: CTA) -> None:
+        self._ctas_done += 1
+
+    def on_flush_complete(self, now: int, fence_release: bool, started: int) -> None:
+        """Release barrier/fence waiters covered by the completed flush.
+
+        Only waiters that arrived *before* the flush started are covered:
+        their buffered atomics were drained by this flush, so the fence
+        semantics of ``bar.sync``/``membar`` are satisfied.  Later
+        arrivals wait for the next flush (their request flag is still
+        set, so one will trigger).
+        """
+        for sm in self.sms:
+            sm.on_flush_complete(now, started)
+
+    # ------------------------------------------------------------------
+    # Kernel sequencing.
+    # ------------------------------------------------------------------
+    def launch(self, kernel: Kernel) -> None:
+        self._queue.append(kernel)
+
+    def _start_next_kernel(self) -> None:
+        self._current = self._queue.pop(0)
+        self._ctas_done = 0
+        self.dispatcher.begin_kernel(self._current)
+        if self.gpudet is not None:
+            self.gpudet.begin_kernel(self._current)
+
+    def _kernel_complete(self) -> bool:
+        k = self._current
+        if k is None:
+            return False
+        if not self.dispatcher.all_dispatched or self._ctas_done < k.grid_dim:
+            return False
+        if self.pending_atomic_packets or self.pending_store_acks:
+            return False
+        if self.cycle < self.last_atomic_done:
+            return False
+        if self.flush is not None:
+            if self.flush.any_active:
+                return False
+            if any(sm.any_buffer_nonempty() for sm in self.sms):
+                self.flush.request_drain_flush()
+                return False
+        if self.gpudet is not None and not self.gpudet.drained():
+            return False
+        return True
+
+    def _finish_kernel(self) -> None:
+        self.dispatcher.finish_kernel()
+        for sm in self.sms:
+            for sched in sm.schedulers:
+                sched.reset_for_drain()
+        self.kernels_run += 1
+        self._current = None
+
+    def checkpoint(self) -> str:
+        """Deterministic context-switch point (paper Section IV-G).
+
+        The paper notes DNN training frameworks time-share GPUs "using
+        check-pointing between GPU kernel launches"; DAB supports this
+        naturally because every kernel drain flushes the atomic buffers.
+        Callable whenever the GPU is idle (between :meth:`run` calls);
+        returns the bitwise memory digest — identical across runs for
+        deterministic architectures, so a preempted-and-resumed training
+        job stays reproducible.
+        """
+        if self._current is not None or self._queue:
+            raise SimulationError("checkpoint requires an idle GPU")
+        if self.flush is not None and any(
+            sm.any_buffer_nonempty() for sm in self.sms
+        ):
+            raise SimulationError("atomic buffers not drained at checkpoint")
+        if self.gpudet is not None and not self.gpudet.drained():
+            raise SimulationError("store buffers not drained at checkpoint")
+        return self.mem.snapshot_digest()
+
+    # ------------------------------------------------------------------
+    # Main loop.
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = 200_000_000) -> SimResult:
+        while True:
+            if self.cycle > max_cycles:
+                raise SimulationError(f"exceeded {max_cycles} cycles")
+            progressed = False
+
+            while self._heap and self._heap[0][0] <= self.cycle:
+                _t, _s, fn, args = heapq.heappop(self._heap)
+                fn(self.cycle, args)
+                progressed = True
+
+            if self._current is None:
+                if not self._queue:
+                    break
+                self._start_next_kernel()
+                progressed = True
+
+            if self.dispatcher.place(self.cycle):
+                progressed = True
+
+            issued = 0
+            for sm in self.sms:
+                issued += sm.issue_cycle(self.cycle)
+            if issued:
+                progressed = True
+
+            if self.gpudet is not None and self.gpudet.tick(self.cycle):
+                progressed = True
+            if self.flush is not None and self.flush.maybe_trigger(self.cycle):
+                progressed = True
+
+            if self._kernel_complete():
+                self._finish_kernel()
+                continue
+
+            if issued:
+                self.cycle += 1
+                continue
+
+            # Nothing issued: fast-forward to the next interesting time.
+            next_time = self._heap[0][0] if self._heap else None
+            wake = self._earliest_warp_wake()
+            candidates = [t for t in (next_time, wake) if t is not None]
+            if self._current is not None and self.cycle < self.last_atomic_done:
+                # Waiting for the ROP to drain fire-and-forget atomics.
+                candidates.append(self.last_atomic_done)
+            if candidates:
+                self.cycle = max(self.cycle + 1, min(candidates))
+                continue
+
+            # Fully quiesced: last-resort flush trigger, then deadlock.
+            if progressed:
+                self.cycle += 1
+                continue
+            if self.flush is not None and self.flush.maybe_trigger(
+                self.cycle, quiesced=True
+            ):
+                continue
+            raise SimulationError(
+                f"deadlock at cycle {self.cycle}: no events, no issuable warps "
+                f"(kernel={self._current.name if self._current else None})"
+            )
+
+        return self._collect_result()
+
+    def _earliest_warp_wake(self) -> Optional[int]:
+        best: Optional[int] = None
+        for sm in self.sms:
+            for table in sm.sched_slots:
+                for w in table:
+                    if w is None or w.done or w.at_barrier:
+                        continue
+                    if w.outstanding_loads or w.outstanding_atoms:
+                        continue  # woken by an event
+                    if w.ready_cycle > self.cycle:
+                        if best is None or w.ready_cycle < best:
+                            best = w.ready_cycle
+        return best
+
+    # ------------------------------------------------------------------
+    def _collect_result(self, label: str = "") -> SimResult:
+        stalls = StallBreakdown()
+        instructions = 0
+        atomics = 0
+        l1_acc = l1_miss = 0
+        for sm in self.sms:
+            stalls.merge(sm.stalls)
+            instructions += sm.instructions
+            atomics += sm.atomics
+            l1_acc += sm.l1.stats.accesses
+            l1_miss += sm.l1.stats.misses
+        l2_acc = sum(p.l2.stats.accesses for p in self.partitions)
+        l2_miss = sum(p.l2.stats.misses for p in self.partitions)
+        fused = 0
+        flush_count = flush_cycles = flush_entries = 0
+        if self.flush is not None:
+            flush_count = self.flush.stats.flushes
+            flush_cycles = self.flush.stats.total_flush_cycles
+            flush_entries = self.flush.stats.entries
+            for sm in self.sms:
+                fused += sum(b.stats.fused for b in sm.buffers)
+        mode_cycles: Dict[str, int] = {}
+        if self.gpudet is not None:
+            self.gpudet.finalize(self.cycle)
+            mode_cycles = dict(self.gpudet.mode_cycles)
+        if not label:
+            if self.dab is not None:
+                label = "DAB-" + self.dab.label
+            elif self.gpudet is not None:
+                label = "GPUDet"
+            else:
+                label = "baseline"
+        return SimResult(
+            label=label,
+            cycles=self.cycle,
+            instructions=instructions,
+            atomics=atomics,
+            kernels=self.kernels_run,
+            mem_digest=self.mem.snapshot_digest(),
+            stalls=stalls,
+            l1_miss_rate=(l1_miss / l1_acc) if l1_acc else 0.0,
+            l2_miss_rate=(l2_miss / l2_acc) if l2_acc else 0.0,
+            flush_count=flush_count,
+            flush_cycles=flush_cycles,
+            flush_entries=flush_entries,
+            fused_atomics=fused,
+            icnt_packets=self.net_fwd.stats.packets + self.net_rev.stats.packets,
+            icnt_queue_delay=self.net_fwd.stats.total_queue_delay
+            + self.net_rev.stats.total_queue_delay,
+            gpudet_mode_cycles=mode_cycles,
+        )

@@ -1,0 +1,51 @@
+"""Injected timing non-determinism.
+
+A Python simulator is deterministic by construction, but real GPUs are
+not: DRAM refresh, interconnect arbitration and clock-domain crossings
+perturb latencies from run to run, which reorders atomics and (with
+non-associative f32 adds) changes results bit-for-bit.  The paper's own
+validation "extended the baseline GPGPU-Sim and DAB to model
+non-determinism in GPUs" (Section V); this module is our version of
+that extension.
+
+A :class:`JitterSource` adds small random increments to DRAM service
+latencies and interconnect traversal latencies.  Different seeds model
+different runs of the same program on the same hardware:
+
+* on the **baseline** GPU, different seeds generally produce different
+  bitwise results for order-sensitive reductions;
+* under **DAB** or **GPUDet**, results must be bitwise identical for
+  every seed — the determinism property, enforced by tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class JitterSource:
+    """Seeded latency perturbation."""
+
+    def __init__(self, seed: int, dram_max: int = 16, icnt_max: int = 6):
+        if dram_max < 0 or icnt_max < 0:
+            raise ValueError("jitter magnitudes must be non-negative")
+        self.seed = seed
+        self.dram_max = dram_max
+        self.icnt_max = icnt_max
+        self._rng = np.random.default_rng(seed)
+
+    def dram(self) -> int:
+        if self.dram_max == 0:
+            return 0
+        return int(self._rng.integers(0, self.dram_max + 1))
+
+    def icnt(self) -> int:
+        if self.icnt_max == 0:
+            return 0
+        return int(self._rng.integers(0, self.icnt_max + 1))
+
+    def __repr__(self) -> str:
+        return (
+            f"JitterSource(seed={self.seed}, dram_max={self.dram_max}, "
+            f"icnt_max={self.icnt_max})"
+        )

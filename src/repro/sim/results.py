@@ -1,0 +1,95 @@
+"""Simulation results and statistics containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class StallBreakdown:
+    """Per-scheduler-cycle stall accounting (Fig 15 buckets)."""
+
+    issued: int = 0
+    empty: int = 0
+    mem: int = 0
+    barrier: int = 0
+    inorder: int = 0
+    token: int = 0
+    round: int = 0
+    buffer_full: int = 0
+    flush: int = 0
+    batch: int = 0
+
+    _FIELDS = (
+        "issued", "empty", "mem", "barrier", "inorder",
+        "token", "round", "buffer_full", "flush", "batch",
+    )
+
+    def record(self, reason: Optional[str]) -> None:
+        if reason is None:
+            self.issued += 1
+            return
+        key = reason if reason in self._FIELDS else "mem"
+        setattr(self, key, getattr(self, key) + 1)
+
+    def merge(self, other: "StallBreakdown") -> None:
+        for f in self._FIELDS:
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f: getattr(self, f) for f in self._FIELDS}
+
+    @property
+    def total(self) -> int:
+        return sum(getattr(self, f) for f in self._FIELDS)
+
+    def determinism_overhead_fraction(self) -> float:
+        """Fraction of scheduler slots lost to determinism machinery."""
+        det = self.inorder + self.token + self.round + self.buffer_full + self.flush + self.batch
+        return det / self.total if self.total else 0.0
+
+
+@dataclass
+class SimResult:
+    """Everything one simulation run reports."""
+
+    label: str
+    cycles: int
+    instructions: int
+    atomics: int
+    kernels: int
+    mem_digest: str
+    stalls: StallBreakdown = field(default_factory=StallBreakdown)
+    l1_miss_rate: float = 0.0
+    l2_miss_rate: float = 0.0
+    flush_count: int = 0
+    flush_cycles: int = 0
+    flush_entries: int = 0
+    fused_atomics: int = 0
+    icnt_packets: int = 0
+    icnt_queue_delay: int = 0
+    gpudet_mode_cycles: Dict[str, int] = field(default_factory=dict)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def atomics_per_kilo_instr(self) -> float:
+        """Atomics PKI, the Table II / Table III workload metric."""
+        return 1000.0 * self.atomics / self.instructions if self.instructions else 0.0
+
+    def normalized_to(self, baseline: "SimResult") -> float:
+        """Execution-time slowdown vs a baseline run (paper's main metric)."""
+        if baseline.cycles == 0:
+            raise ValueError("baseline has zero cycles")
+        return self.cycles / baseline.cycles
+
+    def summary(self) -> str:
+        return (
+            f"{self.label}: {self.cycles} cycles, {self.instructions} instrs, "
+            f"IPC={self.ipc:.2f}, atomics PKI={self.atomics_per_kilo_instr:.2f}, "
+            f"flushes={self.flush_count}"
+        )

@@ -1,0 +1,569 @@
+"""Streaming Multiprocessor: warp slots, schedulers, L1, DAB buffers.
+
+Each SM owns ``num_schedulers_per_sm`` warp schedulers; global warp slot
+``g`` maps to scheduler ``g % S``, local slot ``g // S``, so a CTA's
+warps spread round-robin across schedulers (paper Section VI: "2 warps
+of a CTA are mapped to a scheduler").
+
+Deterministic CTA placement (Section IV-C5): a CTA's per-SM sequence
+number fixes both its hardware-slot range and its *batch*; placement
+waits for exactly those slots, so warp->scheduler assignment never
+depends on which slot happened to free first.
+
+DAB state owned here: the atomic buffers (per warp slot or per
+scheduler), the external atomic-issue gates (flush in progress / CTA
+batch / buffer capacity), and the per-scheduler stall accounting that
+feeds the Fig 15 overhead breakdown.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.arch.isa import OpClass
+from repro.arch.kernel import CTA, Kernel
+from repro.arch.warp import Warp
+from repro.core.atomic_buffer import AtomicBuffer, FlushTransaction
+from repro.core.dab import BufferLevel, DABConfig
+from repro.core.schedulers import (
+    STALL_GATE_BATCH,
+    STALL_GATE_BUFFER,
+    STALL_GATE_FLUSH,
+    WarpStatus,
+    make_scheduler,
+)
+from repro.memory.cache import SectorCache
+from repro.sim.results import StallBreakdown
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.gpu import GPU
+
+
+class SM:
+    def __init__(self, sm_id: int, cluster_id: int, gpu: "GPU"):
+        self.sm_id = sm_id
+        self.cluster_id = cluster_id
+        self.gpu = gpu
+        cfg = gpu.config
+        self.config = cfg
+        self.num_schedulers = cfg.num_schedulers_per_sm
+        self.slots_per_scheduler = cfg.warps_per_scheduler
+        self.total_slots = cfg.max_warps_per_sm
+
+        sched_name = gpu.dab.scheduler if gpu.dab is not None else cfg.baseline_scheduler
+        self.schedulers = [
+            make_scheduler(sched_name, self.slots_per_scheduler)
+            for _ in range(self.num_schedulers)
+        ]
+        #: per-scheduler local slot tables.
+        self.sched_slots: List[List[Optional[Warp]]] = [
+            [None] * self.slots_per_scheduler for _ in range(self.num_schedulers)
+        ]
+        self.l1 = SectorCache(cfg.l1_cache)
+        self.stalls = StallBreakdown()
+
+        # DAB buffers.
+        self.dab: Optional[DABConfig] = gpu.dab
+        self.buffers: List[AtomicBuffer] = []
+        self._warp_level = False
+        if self.dab is not None:
+            self._warp_level = self.dab.buffer_level is BufferLevel.WARP
+            count = self.total_slots if self._warp_level else self.num_schedulers
+            self.buffers = [
+                AtomicBuffer(self.dab.buffer_entries, fusion=self.dab.fusion)
+                for _ in range(count)
+            ]
+
+        # Kernel/batch bookkeeping.
+        self.kernel: Optional[Kernel] = None
+        self.expected_ctas = 0
+        self.ctas_placed = 0
+        self.cta_records: List[CTA] = []
+        self.current_batch = 0
+        self._ctas_per_wave = 1
+        self._warps_per_cta = 1
+        #: CTAs with warps waiting at a bar.sync, and fence-blocked warps.
+        self._barrier_ctas: List[CTA] = []
+        self._fence_warps: List[Warp] = []
+
+        self.instructions = 0
+        self.atomics = 0
+
+    # ------------------------------------------------------------------
+    # Kernel / CTA management.
+    # ------------------------------------------------------------------
+    def begin_kernel(self, kernel: Kernel, expected_ctas: int) -> None:
+        self.kernel = kernel
+        self.expected_ctas = expected_ctas
+        self.ctas_placed = 0
+        self.cta_records = []
+        self.current_batch = 0
+        self._warps_per_cta = kernel.warps_per_cta(self.config.warp_size)
+        if self._warps_per_cta > self.total_slots:
+            raise ValueError(
+                f"CTA needs {self._warps_per_cta} warps but SM has "
+                f"{self.total_slots} slots"
+            )
+        self._ctas_per_wave = max(1, self.total_slots // self._warps_per_cta)
+        for sched in self.schedulers:
+            sched.reset_for_drain()
+
+    def _slot_range(self, per_sm_index: int) -> range:
+        pos = per_sm_index % self._ctas_per_wave
+        base = pos * self._warps_per_cta
+        return range(base, base + self._warps_per_cta)
+
+    def _slot_warp(self, g: int) -> Optional[Warp]:
+        return self.sched_slots[g % self.num_schedulers][g // self.num_schedulers]
+
+    def _slot_free(self, g: int) -> bool:
+        w = self._slot_warp(g)
+        if w is None:
+            return True
+        if not w.done:
+            return False
+        if self._warp_level:
+            # Warps are reclaimed only once their buffer flushed (IV-B).
+            buf = self.buffers[g]
+            if buf.non_empty:
+                return False
+        return True
+
+    def can_place_cta(self, cta: CTA) -> bool:
+        if self.kernel is None:
+            return False
+        return all(self._slot_free(g) for g in self._slot_range(self.ctas_placed))
+
+    def try_place_cta(self, now: int, cta: CTA, per_sm_index: int) -> bool:
+        if self.kernel is None or cta.kernel is not self.kernel:
+            raise RuntimeError("CTA placed outside its kernel window")
+        slots = self._slot_range(per_sm_index)
+        if not all(self._slot_free(g) for g in slots):
+            return False
+        cta.batch = per_sm_index // self._ctas_per_wave
+        cta.warps_total = self._warps_per_cta
+        for w, g in enumerate(slots):
+            sched = g % self.num_schedulers
+            local = g // self.num_schedulers
+            warp = Warp(
+                uid=self.gpu.next_warp_uid(),
+                cta=cta,
+                warp_id_in_cta=w,
+                warp_size=self.config.warp_size,
+                sm_id=self.sm_id,
+                scheduler_id=sched,
+                hw_slot=local,
+            )
+            warp.launched_cycle = now
+            warp.ready_cycle = now
+            self.sched_slots[sched][local] = warp
+            self.schedulers[sched].notify_warp_added(self.sched_slots[sched], local)
+        self.ctas_placed += 1
+        self.cta_records.append(cta)
+        if self.gpu.gpudet is not None:
+            self.gpu.gpudet.on_cta_placed(cta, self)
+        return True
+
+    def live_warps(self) -> List[Warp]:
+        out = []
+        for table in self.sched_slots:
+            for w in table:
+                if w is not None and not w.done:
+                    out.append(w)
+        return out
+
+    def all_warps(self) -> List[Warp]:
+        out = []
+        for table in self.sched_slots:
+            for w in table:
+                if w is not None:
+                    out.append(w)
+        return out
+
+    # ------------------------------------------------------------------
+    # DAB buffer plumbing.
+    # ------------------------------------------------------------------
+    def buffer_for(self, warp: Warp) -> AtomicBuffer:
+        if self._warp_level:
+            g = warp.hw_slot * self.num_schedulers + warp.scheduler_id
+            return self.buffers[g]
+        return self.buffers[warp.scheduler_id]
+
+    def _buffer_feeders(self, idx: int) -> List[Warp]:
+        if self._warp_level:
+            sched = idx % self.num_schedulers
+            local = idx // self.num_schedulers
+            w = self.sched_slots[sched][local]
+            return [w] if w is not None else []
+        return [w for w in self.sched_slots[idx] if w is not None]
+
+    def any_buffer_nonempty(self) -> bool:
+        return any(b.non_empty for b in self.buffers)
+
+    def any_buffer_full(self) -> bool:
+        return any(b.full for b in self.buffers)
+
+    def buffers_flush_ready(self) -> bool:
+        """Every buffer is at a deterministic point (see core.flush)."""
+        for idx, buf in enumerate(self.buffers):
+            if buf.full:
+                continue
+            feeders = [w for w in self._buffer_feeders(idx) if not w.done]
+            if all(w.at_barrier for w in feeders):
+                continue
+            return False
+        return True
+
+    def drain_dab_buffers(self, coalesce: bool, offset: int) -> List[FlushTransaction]:
+        stream: List[FlushTransaction] = []
+        for buf in self.buffers:
+            stream.extend(buf.drain(coalesce=coalesce))
+        for w in self.all_warps():
+            w.buffered_reds = 0
+        if offset and stream:
+            # Offset flushing (paper VI-B2): rotate this SM's whole send
+            # stream by ~offset entries so different SMs hit different
+            # memory partitions first.  Rotation granularity is a whole
+            # transaction; the commit order stays a deterministic
+            # function of SM id and buffer contents.
+            entries = 0
+            for idx, txn in enumerate(stream):
+                if entries >= offset:
+                    stream = stream[idx:] + stream[:idx]
+                    break
+                entries += len(txn.ops)
+        return stream
+
+    # ------------------------------------------------------------------
+    # Issue.
+    # ------------------------------------------------------------------
+    def issue_cycle(self, now: int) -> int:
+        self._check_baseline_releases(now)
+        issued = 0
+        for s, sched in enumerate(self.schedulers):
+            table = self.sched_slots[s]
+            # Fast path: skip the full status/select machinery when no
+            # warp could issue this cycle.  A warp blocked on memory, a
+            # barrier, or future latency cannot trigger any scheduler
+            # state transition (those depend on *ready* warps reaching
+            # atomics), so skipping is behaviour-preserving.
+            any_live = False
+            any_ready = False
+            all_barrier = True
+            for w in table:
+                if w is None or w.done:
+                    continue
+                any_live = True
+                if not w.at_barrier:
+                    all_barrier = False
+                    if (
+                        w.ready_cycle <= now
+                        and w.outstanding_loads == 0
+                        and w.outstanding_atoms == 0
+                    ):
+                        any_ready = True
+                        break
+            if not any_live:
+                continue  # idle scheduler: not counted as a stall slot
+            if not any_ready:
+                self.stalls.record("barrier" if all_barrier else "mem")
+                continue
+            statuses = [
+                self._status(w, now) if w is not None else None
+                for w in table
+            ]
+            warp, reason = sched.select(now, statuses)
+            blocked = getattr(sched, "gate_blocked_warp", None)
+            if blocked is not None:
+                # The policy's deterministic atomic candidate was blocked
+                # on buffer capacity: trip the sticky full bit now (the
+                # flush trigger watches it).
+                sched.gate_blocked_warp = None
+                if self.dab is not None and not self._warp_level:
+                    buf = self.buffer_for(blocked)
+                    if not buf.full:
+                        buf.mark_full()
+            self.stalls.record(None if warp is not None else reason)
+            if warp is not None:
+                self._issue(now, warp)
+                issued += 1
+        return issued
+
+    def _status(self, warp: Warp, now: int) -> Optional[WarpStatus]:
+        if warp.done:
+            return WarpStatus(warp, ready=False, at_barrier=False, next_atomic=False)
+        ready = (
+            warp.ready_cycle <= now
+            and warp.outstanding_loads == 0
+            and warp.outstanding_atoms == 0
+        )
+        if ready and self.gpu.gpudet is not None:
+            ready = self.gpu.gpudet.can_issue(warp)
+        next_atomic = warp.next_is_atomic()
+        gate_ok = True
+        gate_reason = ""
+        if next_atomic and self.dab is not None and not warp.at_barrier:
+            gate_ok, gate_reason = self._atomic_gate(warp)
+        return WarpStatus(
+            warp,
+            ready=ready,
+            at_barrier=warp.at_barrier,
+            next_atomic=next_atomic,
+            gate_ok=gate_ok,
+            gate_reason=gate_reason,
+        )
+
+    def _atomic_gate(self, warp: Warp):
+        ins = warp.peek()
+        if ins is not None and ins.op_class is OpClass.MEM_ATOM:
+            from repro.sim.gpu import SimulationError
+
+            raise SimulationError(
+                "returning atomics (atom.*) are not supported under DAB; "
+                "the paper's DAB workloads compile to red instructions "
+                "(Section IV-A)"
+            )
+        if self.gpu.flush is not None and self.gpu.flush.flush_gate_blocked(self.cluster_id):
+            return False, STALL_GATE_FLUSH
+        if warp.batch > self.current_batch:
+            return False, STALL_GATE_BATCH
+        buf = self.buffer_for(warp)
+        ops = warp.peek_red_ops()
+        if not buf.can_accept(ops):
+            # The sticky full bit may only be tripped by the warp that is
+            # actually next in the deterministic atomic order; for
+            # warp-level buffers that is trivially this warp (sole
+            # feeder).  For scheduler-level buffers the *scheduler*
+            # reports its blocked candidate (``gate_blocked_warp``) and
+            # the SM marks the buffer after select() — a speculative
+            # status check for a warp further down the order must not
+            # freeze the buffer under an already-approved insert.
+            if self._warp_level and not buf.full:
+                buf.mark_full()
+            return False, STALL_GATE_BUFFER
+        return True, ""
+
+    def _issue(self, now: int, warp: Warp) -> None:
+        cfg = self.config
+        mem_view = self.gpu.mem_view_for(warp)
+        result = warp.step(mem_view)
+        self.instructions += 1
+        oc = result.op_class
+
+        if self.gpu.gpudet is not None:
+            self.gpu.gpudet.after_step(now, warp, result)
+
+        if oc is OpClass.ALU:
+            warp.ready_cycle = now + cfg.alu_latency
+        elif oc is OpClass.SFU:
+            warp.ready_cycle = now + cfg.sfu_latency
+        elif oc is OpClass.NOP:
+            extra = 1
+            if result.instr.op_class is OpClass.NOP and result.instr.srcs:
+                # `nop N` models an N-cycle compute block; a guarded-off
+                # instruction also surfaces as NOP and costs one cycle.
+                extra = int(result.instr.srcs[0])
+            warp.ready_cycle = now + max(1, extra)
+        elif oc is OpClass.SLEEP:
+            warp.ready_cycle = now + result.sleep_cycles
+        elif oc is OpClass.BRANCH:
+            warp.ready_cycle = now + 1
+        elif oc is OpClass.EXIT:
+            warp.ready_cycle = now + 1
+            if result.exited:
+                self._handle_exit(now, warp)
+        elif oc is OpClass.BARRIER:
+            self._handle_barrier(now, warp)
+        elif oc is OpClass.FENCE:
+            self._handle_fence(now, warp)
+        else:
+            self._handle_mem(now, warp, result)
+            if result.mem is not None and result.mem.kind in ("red", "atom"):
+                self.atomics += 1
+
+    # ------------------------------------------------------------------
+    # Instruction-class handlers.
+    # ------------------------------------------------------------------
+    def _handle_exit(self, now: int, warp: Warp) -> None:
+        warp.exited = True
+        cta = warp.cta
+        cta.warps_exited += 1
+        table = self.sched_slots[warp.scheduler_id]
+        self.schedulers[warp.scheduler_id].notify_exit(table, warp.hw_slot)
+        self._advance_batch()
+        if cta.done:
+            self.gpu.on_cta_done(now, cta)
+        else:
+            self._maybe_complete_barrier(now, cta)
+
+    def _advance_batch(self) -> None:
+        while True:
+            lo = self.current_batch * self._ctas_per_wave
+            hi = min(lo + self._ctas_per_wave, self.expected_ctas or self.ctas_placed)
+            batch_ctas = self.cta_records[lo:hi]
+            if not batch_ctas:
+                break
+            if self.expected_ctas and len(batch_ctas) < hi - lo:
+                break  # batch not fully placed yet
+            if all(c.done for c in batch_ctas):
+                self.current_batch += 1
+            else:
+                break
+
+    def _handle_barrier(self, now: int, warp: Warp) -> None:
+        warp.at_barrier = True
+        warp.ready_cycle = now + 1
+        cta = warp.cta
+        if cta not in self._barrier_ctas:
+            self._barrier_ctas.append(cta)
+        self._maybe_complete_barrier(now, cta)
+        if warp.at_barrier:
+            # The warp genuinely blocks (CTA not fully arrived, or a
+            # fence flush is pending): a token-holding warp must forfeit
+            # the token or atomics of its CTA-mates would deadlock.  A
+            # barrier that released immediately must NOT forfeit — the
+            # forfeit would depend on which warp happened to arrive
+            # last, which is timing, and would scramble the
+            # deterministic atomic order (caught by the conv seed-sweep
+            # tests).
+            table = self.sched_slots[warp.scheduler_id]
+            self.schedulers[warp.scheduler_id].notify_barrier(table, warp.hw_slot)
+
+    def _maybe_complete_barrier(self, now: int, cta: CTA) -> None:
+        if cta not in self._barrier_ctas:
+            return
+        warps = [w for w in self.all_warps() if w.cta is cta and not w.done]
+        if not warps or not all(w.at_barrier for w in warps):
+            return
+        cta.barrier_complete_at = now  # type: ignore[attr-defined]
+        if self.gpu.flush is not None:
+            # DAB: bar.sync carries a CTA-level fence -> needs a flush,
+            # but only if this CTA's warps actually buffered atomics
+            # since the last flush; otherwise there is nothing to make
+            # visible and the barrier releases like a plain barrier.
+            # (The buffered-red count is a program-order quantity, so
+            # the release decision is deterministic.)
+            if all(w.buffered_reds == 0 for w in warps):
+                for w in warps:
+                    w.at_barrier = False
+                    w.ready_cycle = max(w.ready_cycle, now + 1)
+                self._barrier_ctas.remove(cta)
+                self._notify_releases(warps)
+            else:
+                self.gpu.flush.request_fence_flush()
+        # Baseline/GPUDet release handled in _check_baseline_releases.
+
+    def _handle_fence(self, now: int, warp: Warp) -> None:
+        warp.at_barrier = True
+        warp.fence_arrived_at = now  # type: ignore[attr-defined]
+        warp.ready_cycle = now + 1
+        self._fence_warps.append(warp)
+        table = self.sched_slots[warp.scheduler_id]
+        self.schedulers[warp.scheduler_id].notify_barrier(table, warp.hw_slot)
+        if self.gpu.flush is not None:
+            self.gpu.flush.request_fence_flush()
+
+    def _check_baseline_releases(self, now: int) -> None:
+        """Release barriers/fences whose conditions are met (non-DAB path)."""
+        if self.gpu.flush is not None:
+            return  # DAB releases happen in on_flush_complete
+        if self.gpu.gpudet is not None:
+            return  # GPUDet releases barriers at the next quantum start
+        done_ctas = []
+        for cta in self._barrier_ctas:
+            warps = [w for w in self.all_warps() if w.cta is cta and not w.done]
+            if warps and all(w.at_barrier for w in warps):
+                if all(
+                    w.outstanding_loads == 0 and w.outstanding_stores == 0
+                    and w.outstanding_atoms == 0
+                    for w in warps
+                ):
+                    for w in warps:
+                        w.at_barrier = False
+                        w.ready_cycle = max(w.ready_cycle, now + 1)
+                    done_ctas.append(cta)
+        for cta in done_ctas:
+            self._barrier_ctas.remove(cta)
+        still = []
+        for w in self._fence_warps:
+            if w.outstanding_loads == 0 and w.outstanding_stores == 0 and w.outstanding_atoms == 0:
+                w.at_barrier = False
+                w.ready_cycle = max(w.ready_cycle, now + 1)
+            else:
+                still.append(w)
+        self._fence_warps = still
+
+    def on_flush_complete(self, now: int, flush_started: int) -> None:
+        """DAB: release barrier CTAs / fence warps covered by this flush."""
+        done_ctas = []
+        for cta in self._barrier_ctas:
+            arrived = getattr(cta, "barrier_complete_at", None)
+            if arrived is None or arrived > flush_started:
+                continue
+            warps = [w for w in self.all_warps() if w.cta is cta and not w.done]
+            for w in warps:
+                w.at_barrier = False
+                w.ready_cycle = max(w.ready_cycle, now + 1)
+            self._notify_releases(warps)
+            done_ctas.append(cta)
+        for cta in done_ctas:
+            self._barrier_ctas.remove(cta)
+        still = []
+        for w in self._fence_warps:
+            if getattr(w, "fence_arrived_at", now) <= flush_started:
+                w.at_barrier = False
+                w.ready_cycle = max(w.ready_cycle, now + 1)
+                self._notify_releases([w])
+            else:
+                still.append(w)
+        self._fence_warps = still
+
+    def _notify_releases(self, warps) -> None:
+        for w in warps:
+            table = self.sched_slots[w.scheduler_id]
+            self.schedulers[w.scheduler_id].notify_barrier_release(table, w.hw_slot)
+
+    # ------------------------------------------------------------------
+    def _handle_mem(self, now: int, warp: Warp, result) -> None:
+        spec = result.mem
+        assert spec is not None
+        if spec.kind == "load":
+            self._issue_load(now, warp, spec.sectors)
+        elif spec.kind == "store":
+            self._issue_store(now, warp, spec.sectors)
+        elif spec.kind == "red":
+            if self.dab is not None:
+                buf = self.buffer_for(warp)
+                buf.insert(spec.red_ops)
+                warp.buffered_reds += len(spec.red_ops)
+                # Buffered atomics behave like ALU ops at issue (VI-A1).
+                warp.ready_cycle = now + self.config.alu_latency
+            else:
+                warp.ready_cycle = now + 1
+                self.gpu.issue_baseline_red(now, self, warp, spec)
+        else:  # atom
+            warp.ready_cycle = now + 1
+            self.gpu.issue_atom(now, self, warp, spec)
+
+    def _issue_load(self, now: int, warp: Warp, sectors) -> None:
+        cfg = self.config
+        warp.ready_cycle = now + cfg.l1_cache.hit_latency
+        misses = []
+        for sec in sectors:
+            if not self.l1.access(sec):
+                misses.append(sec)
+        if misses:
+            warp.outstanding_loads += len(misses)
+            for sec in misses:
+                self.gpu.send_load_miss(now, self, warp, sec)
+
+    def _issue_store(self, now: int, warp: Warp, sectors) -> None:
+        # Write-through, no-allocate: invalidate any L1 copy, go to L2.
+        warp.ready_cycle = now + 1
+        if self.gpu.gpudet is not None:
+            return  # GPUDet: stores went to the warp's store buffer
+        for sec in sectors:
+            if self.l1.probe(sec):
+                self.l1.invalidate(sec)
+            warp.outstanding_stores += 1
+            self.gpu.send_store(now, self, warp, sec)

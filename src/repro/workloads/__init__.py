@@ -1,0 +1,59 @@
+"""The paper's evaluation workloads, written in the mini-PTX ISA.
+
+* ``microbench`` — the atomicAdd array-sum microbenchmark (Fig 2), the
+  Section V order-sensitive validation benchmark, a multi-target
+  scatter reduction, and an integer histogram (associativity control);
+* ``locks`` — the three deterministic lock baselines of Fig 2
+  (Test&Set ticket lock, + exponential backoff, Test&Test&Set);
+* ``graphs`` — synthetic graphs shaped like Table II;
+* ``bc`` — push-based Betweenness Centrality (forward BFS with sigma
+  accumulation + backward dependency accumulation, both via ``red``);
+* ``pagerank`` — push-based PageRank;
+* ``sssp`` — push-based shortest paths via ``red.global.min.s32``;
+* ``convolution`` — backward-filter convolution shaped like the cuDNN
+  algorithm the paper evaluates (Table III layer configurations).
+
+Each builder returns a :class:`Workload`: the functional memory image,
+the kernels to launch, and an optional host-side driver loop (BC and
+PageRank relaunch kernels based on device results, exactly like their
+CUDA hosts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.arch.kernel import Kernel
+from repro.memory.globalmem import GlobalMemory
+
+
+@dataclass
+class Workload:
+    """One runnable workload instance (fresh memory, ready to launch)."""
+
+    name: str
+    mem: GlobalMemory
+    kernels: List[Kernel] = field(default_factory=list)
+    #: buffer names whose final contents are the workload's *result*
+    #: (used for determinism digests and reference checks).
+    outputs: List[str] = field(default_factory=list)
+    #: optional host-side loop; receives the GPU, must launch+run kernels.
+    driver: Optional[Callable] = None
+    #: provenance: paper-scale vs simulated-scale parameters.
+    info: Dict[str, object] = field(default_factory=dict)
+
+    def drive(self, gpu) -> "object":
+        """Run the workload to completion on ``gpu``; returns SimResult."""
+        if self.driver is not None:
+            return self.driver(gpu)
+        for k in self.kernels:
+            gpu.launch(k)
+        return gpu.run()
+
+    def output_digest(self) -> str:
+        return self.mem.snapshot_digest(self.outputs or None)
+
+
+#: A factory producing a fresh Workload each call (runs mutate memory).
+WorkloadFactory = Callable[[], Workload]

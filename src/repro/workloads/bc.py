@@ -1,0 +1,229 @@
+"""Push-based Betweenness Centrality (paper Sections II-B, V-A).
+
+Brandes' algorithm from one source, GPU push style (as in Pannotia):
+
+* **forward** — level-synchronous BFS; a thread per node at the current
+  level pushes to its neighbours: unvisited neighbours get their depth
+  (a benign same-value store) and shortest-path counts accumulate with
+  ``red.global.add.f32 sigma[v] += sigma[u]`` — the f32 atomic the paper
+  identifies as BC's non-determinism source;
+* **backward** — dependency accumulation from the deepest level up:
+  a thread per node ``w`` at level ``l`` pushes
+  ``delta[v] += sigma[v]/sigma[w] * (1 + delta[w])`` to its level
+  ``l-1`` neighbours with ``red`` atomics; ``bc[w] = delta[w]`` at the
+  end.
+
+The host relaunches one kernel per level, reading a device flag to
+detect frontier exhaustion — "each kernel operates on one layer of
+nodes in the breadth-first search tree" (Section VI-A1), which is why
+many BC threads exit without executing atomics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.isa import assemble
+from repro.arch.kernel import Kernel
+from repro.memory.globalmem import GlobalMemory
+from repro.workloads import Workload
+from repro.workloads.graphs import CSRGraph, generate
+
+_FWD_PROG = assemble("""
+    mov.s32 r_u, %gtid
+    setp.ge.s32 p_out, r_u, c_n
+@p_out bra DONE
+    shl.s32 r_off, r_u, 2
+    add.s32 r_da, c_d, r_off
+    ld.global.s32 r_du, [r_da]
+    setp.ne.s32 p_skip, r_du, c_level
+@p_skip bra DONE
+    add.s32 r_sa, c_sigma, r_off
+    ld.global.f32 r_su, [r_sa]
+    add.s32 r_rp, c_rowptr, r_off
+    ld.global.s32 r_e, [r_rp]
+    ld.global.s32 r_eend, [r_rp+4]
+ELOOP:
+    setp.ge.s32 p_edone, r_e, r_eend
+@p_edone bra DONE
+    shl.s32 r_eo, r_e, 2
+    add.s32 r_ca, c_colidx, r_eo
+    ld.global.s32 r_v, [r_ca]
+    shl.s32 r_vo, r_v, 2
+    add.s32 r_dva, c_d, r_vo
+    ld.global.s32 r_dv, [r_dva]
+    setp.eq.s32 p_unvis, r_dv, -1
+@p_unvis st.global.s32 [r_dva], c_nextlevel
+@p_unvis red.global.max.s32 [c_flag], 1
+    setp.eq.s32 p_nxt, r_dv, c_nextlevel
+    or.pred p_acc, p_unvis, p_nxt
+    add.s32 r_sva, c_sigma, r_vo
+@p_acc red.global.add.f32 [r_sva], r_su
+    add.s32 r_e, r_e, 1
+    bra ELOOP
+DONE:
+    exit
+""")
+
+_BWD_PROG = assemble("""
+    mov.s32 r_w, %gtid
+    setp.ge.s32 p_out, r_w, c_n
+@p_out bra DONE
+    shl.s32 r_off, r_w, 2
+    add.s32 r_da, c_d, r_off
+    ld.global.s32 r_dw, [r_da]
+    setp.ne.s32 p_skip, r_dw, c_level
+@p_skip bra DONE
+    add.s32 r_sa, c_sigma, r_off
+    ld.global.f32 r_sw, [r_sa]
+    add.s32 r_dea, c_delta, r_off
+    ld.global.f32 r_del, [r_dea]
+    add.f32 r_coef, r_del, 1.0
+    div.f32 r_coef, r_coef, r_sw
+    add.s32 r_rp, c_rowptr, r_off
+    ld.global.s32 r_e, [r_rp]
+    ld.global.s32 r_eend, [r_rp+4]
+ELOOP:
+    setp.ge.s32 p_edone, r_e, r_eend
+@p_edone bra STORE
+    shl.s32 r_eo, r_e, 2
+    add.s32 r_ca, c_colidx, r_eo
+    ld.global.s32 r_v, [r_ca]
+    shl.s32 r_vo, r_v, 2
+    add.s32 r_dva, c_d, r_vo
+    ld.global.s32 r_dv, [r_dva]
+    setp.ne.s32 p_pred, r_dv, c_prevlevel
+@p_pred bra SKIP
+    add.s32 r_sva, c_sigma, r_vo
+    ld.global.f32 r_sv, [r_sva]
+    mul.f32 r_c, r_sv, r_coef
+    add.s32 r_deva, c_delta, r_vo
+    red.global.add.f32 [r_deva], r_c
+SKIP:
+    add.s32 r_e, r_e, 1
+    bra ELOOP
+STORE:
+    add.s32 r_bca, c_bc, r_off
+    st.global.f32 [r_bca], r_del
+DONE:
+    exit
+""")
+
+
+def bc_reference(g: CSRGraph, source: int = 0):
+    """Host-side float64 Brandes reference (one source)."""
+    n = g.num_nodes
+    d = np.full(n, -1, dtype=np.int64)
+    sigma = np.zeros(n, dtype=np.float64)
+    d[source] = 0
+    sigma[source] = 1.0
+    levels = [[source]]
+    while True:
+        cur = levels[-1]
+        nxt = []
+        for u in cur:
+            for e in range(int(g.row_ptr[u]), int(g.row_ptr[u + 1])):
+                v = int(g.col_idx[e])
+                if d[v] < 0:
+                    d[v] = d[u] + 1
+                    nxt.append(v)
+        for u in cur:
+            for e in range(int(g.row_ptr[u]), int(g.row_ptr[u + 1])):
+                v = int(g.col_idx[e])
+                if d[v] == d[u] + 1:
+                    sigma[v] += sigma[u]
+        if not nxt:
+            break
+        levels.append(nxt)
+    delta = np.zeros(n, dtype=np.float64)
+    for lvl in reversed(range(1, len(levels))):
+        for w in levels[lvl]:
+            coef = (1.0 + delta[w]) / sigma[w] if sigma[w] else 0.0
+            for e in range(int(g.row_ptr[w]), int(g.row_ptr[w + 1])):
+                v = int(g.col_idx[e])
+                if d[v] == lvl - 1:
+                    delta[v] += sigma[v] * coef
+    return d, sigma, delta
+
+
+def build_bc(
+    graph: str = "FA",
+    scale: int = 0,
+    seed: int = 42,
+    source: int = 0,
+    cta_dim: int = 128,
+) -> Workload:
+    """BC on a Table II-shaped graph; host loop drives per-level kernels."""
+    g = graph if isinstance(graph, CSRGraph) else generate(graph, scale, seed)
+    n = g.num_nodes
+    mem = GlobalMemory()
+    b_rp = mem.alloc("rowptr", n + 1, "s32", init=g.row_ptr)
+    b_ci = mem.alloc("colidx", max(1, g.num_edges), "s32",
+                     init=g.col_idx if g.num_edges else None)
+    d_init = np.full(n, -1, dtype=np.int64)
+    d_init[source] = 0
+    b_d = mem.alloc("d", n, "s32", init=d_init)
+    s_init = np.zeros(n, dtype=np.float32)
+    s_init[source] = 1.0
+    b_sigma = mem.alloc("sigma", n, "f32", init=s_init)
+    b_delta = mem.alloc("delta", n, "f32")
+    b_bc = mem.alloc("bc", n, "f32")
+    b_flag = mem.alloc("flag", 1, "s32")
+    grid = -(-n // cta_dim)
+
+    common = {
+        "c_n": n,
+        "c_rowptr": b_rp,
+        "c_colidx": b_ci,
+        "c_d": b_d,
+        "c_sigma": b_sigma,
+    }
+
+    def driver(gpu):
+        result = None
+        level = 0
+        while True:
+            mem.buffer("flag")[0] = 0
+            params = dict(common)
+            params.update(
+                {"c_level": level, "c_nextlevel": level + 1, "c_flag": b_flag}
+            )
+            gpu.launch(Kernel(f"bc_fwd_L{level}", _FWD_PROG, grid, cta_dim, params))
+            result = gpu.run()
+            if int(mem.buffer("flag")[0]) == 0:
+                break
+            level += 1
+            if level > n:
+                raise RuntimeError("BFS failed to terminate")
+        depth = level
+        for lvl in range(depth, 0, -1):
+            params = dict(common)
+            params.update(
+                {
+                    "c_level": lvl,
+                    "c_prevlevel": lvl - 1,
+                    "c_delta": b_delta,
+                    "c_bc": b_bc,
+                }
+            )
+            gpu.launch(Kernel(f"bc_bwd_L{lvl}", _BWD_PROG, grid, cta_dim, params))
+            result = gpu.run()
+        return result
+
+    return Workload(
+        name=f"bc_{g.name}",
+        mem=mem,
+        kernels=[],
+        outputs=["sigma", "delta", "bc", "d"],
+        driver=driver,
+        info={
+            "graph": g.name,
+            "nodes": n,
+            "edges": g.num_edges,
+            "scale": g.scale,
+            "paper_nodes": g.spec.paper_nodes if g.spec else None,
+            "paper_edges": g.spec.paper_edges if g.spec else None,
+            "paper_atomics_pki": g.spec.paper_atomics_pki if g.spec else None,
+            "source": source,
+        },
+    )

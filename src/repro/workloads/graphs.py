@@ -1,0 +1,156 @@
+"""Synthetic graphs shaped like the paper's Table II datasets.
+
+The paper evaluates BC and PageRank on real graphs (foldoc, amazon0302,
+CNR-2000, coAuthorsDBLP, plus dense random "1k"/"2k" graphs).  Those
+files are not redistributable here, and full-size graphs are far beyond
+a pure-Python cycle simulator, so each dataset gets a seeded synthetic
+generator preserving the properties that drive scheduler/buffer
+behaviour — density, degree skew, and BFS depth class — at a reduced,
+recorded scale.
+
+Table II (paper values):
+
+    name        nodes     edges      atomics PKI
+    1k          1,024     131,072    6.92
+    2k          2,048     1,048,576  12.4
+    FA          10,617    72,176     4.12
+    foldoc      13,356    120,238    4.14
+    amazon0302  262,111   1,234,877  0.70
+    CNR         325,557   3,216,152  0.004
+    coAuthor    299,067   1,955,352  47.2   (PageRank)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """One Table II dataset: paper-scale facts + generator parameters."""
+
+    name: str
+    paper_nodes: int
+    paper_edges: int
+    paper_atomics_pki: float
+    kind: str          # "dense-random" | "uniform-sparse" | "power-law"
+    default_scale: int  # divide paper node count by this for simulation
+
+
+TABLE2_GRAPHS: Dict[str, GraphSpec] = {
+    "1k": GraphSpec("1k", 1024, 131072, 6.92, "dense-random", 8),
+    "2k": GraphSpec("2k", 2048, 1048576, 12.4, "dense-random", 16),
+    "FA": GraphSpec("FA", 10617, 72176, 4.12, "uniform-sparse", 16),
+    "fol": GraphSpec("fol", 13356, 120238, 4.14, "uniform-sparse", 16),
+    "ama": GraphSpec("ama", 262111, 1234877, 0.70, "power-law", 256),
+    "CNR": GraphSpec("CNR", 325557, 3216152, 0.004, "power-law", 256),
+    "coA": GraphSpec("coA", 299067, 1955352, 47.2, "power-law", 256),
+}
+
+
+@dataclass
+class CSRGraph:
+    """Compressed sparse row adjacency (directed edges u -> v)."""
+
+    name: str
+    row_ptr: np.ndarray     # int64, len n+1
+    col_idx: np.ndarray     # int64, len m
+    scale: int = 1
+    spec: GraphSpec = None  # type: ignore[assignment]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.row_ptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.col_idx)
+
+    def out_degree(self, u: int) -> int:
+        return int(self.row_ptr[u + 1] - self.row_ptr[u])
+
+    def validate(self) -> None:
+        if self.row_ptr[0] != 0 or self.row_ptr[-1] != len(self.col_idx):
+            raise ValueError("corrupt row_ptr")
+        if np.any(np.diff(self.row_ptr) < 0):
+            raise ValueError("row_ptr not monotone")
+        if len(self.col_idx) and (
+            self.col_idx.min() < 0 or self.col_idx.max() >= self.num_nodes
+        ):
+            raise ValueError("col_idx out of range")
+
+
+def _degrees_for(spec: GraphSpec, n: int, m_target: int, rng) -> np.ndarray:
+    if spec.kind == "dense-random":
+        base = m_target // n
+        deg = np.full(n, base, dtype=np.int64)
+        deg += rng.integers(0, 3, size=n)
+    elif spec.kind == "uniform-sparse":
+        avg = max(1, m_target // n)
+        deg = rng.poisson(avg, size=n).astype(np.int64)
+    else:  # power-law
+        raw = rng.zipf(2.1, size=n).astype(np.float64)
+        raw = np.minimum(raw, n // 2 + 1)
+        deg = np.maximum(1, (raw * (m_target / raw.sum())).astype(np.int64))
+    deg = np.minimum(deg, n - 1)
+    return np.maximum(deg, 1)
+
+
+def generate(name: str, scale: int = 0, seed: int = 42) -> CSRGraph:
+    """Generate the named Table II graph at ``1/scale`` of paper size.
+
+    ``scale=0`` uses the spec's default.  Node and edge counts shrink by
+    the same factor, preserving average degree and skew.
+    """
+    try:
+        spec = TABLE2_GRAPHS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown graph {name!r}; choose from {sorted(TABLE2_GRAPHS)}"
+        ) from None
+    if scale <= 0:
+        scale = spec.default_scale
+    n = max(16, spec.paper_nodes // scale)
+    m_target = max(n, spec.paper_edges // scale)
+    rng = np.random.default_rng(seed + hash(name) % 1000)
+
+    deg = _degrees_for(spec, n, m_target, rng)
+    row_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(deg, out=row_ptr[1:])
+    col = np.empty(int(row_ptr[-1]), dtype=np.int64)
+    for u in range(n):
+        d = int(deg[u])
+        # sample neighbours != u (duplicates allowed like multigraph
+        # edge lists in the benchmarks, but self loops removed)
+        nb = rng.integers(0, n - 1, size=d)
+        nb = np.where(nb >= u, nb + 1, nb)
+        col[row_ptr[u]:row_ptr[u + 1]] = nb
+    g = CSRGraph(name=name, row_ptr=row_ptr, col_idx=col, scale=scale, spec=spec)
+    g.validate()
+    return g
+
+
+def connected_bfs_depth(g: CSRGraph, source: int = 0) -> Tuple[int, int]:
+    """(reached node count, BFS depth) — host-side reference traversal."""
+    n = g.num_nodes
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = [source]
+    depth = 0
+    reached = 1
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for e in range(int(g.row_ptr[u]), int(g.row_ptr[u + 1])):
+                v = int(g.col_idx[e])
+                if dist[v] < 0:
+                    dist[v] = depth + 1
+                    nxt.append(v)
+                    reached += 1
+        frontier = nxt
+        if frontier:
+            depth += 1
+    return reached, depth

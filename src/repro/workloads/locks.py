@@ -1,0 +1,185 @@
+"""Deterministic lock-based reduction baselines (paper Section II-C, Fig 2).
+
+Three lock algorithms sum an array into one output under a centralized
+lock.  Every thread's *ticket* is its global thread id, fixed across
+runs, so critical sections execute in ticket order and the f32 result is
+deterministic even on the non-deterministic baseline GPU — exactly the
+paper's software-determinism comparison points:
+
+* ``ts``      — basic Test&Set: every waiting thread hammers
+  ``atomicExch`` on the lock; a winner that is not the ticket holder
+  releases immediately.  Maximum atomic traffic.
+* ``ts_backoff`` — Test&Set with exponential backoff in software after a
+  failed acquisition.
+* ``tts``     — Test&Test&Set: threads watch the lock (plain loads) and
+  only attempt the exchange when the lock looks free *and* it is their
+  turn, minimizing atomic traffic.
+
+The kernels use guarded (predicated) critical sections rather than
+divergent branches around the spin loop, the standard way to avoid SIMT
+spin-lock deadlock (paper cites [60], [61]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.isa import assemble
+from repro.arch.kernel import Kernel
+from repro.memory.globalmem import GlobalMemory
+from repro.workloads import Workload
+
+# Shared prologue/epilogue; {BODY} is the per-algorithm spin logic.
+_TEMPLATE = """
+    mov.s32 r_flag, 0
+    mov.s32 r_old, 1
+    mov.f32 r_s, 0.0
+    mov.s32 r_i, %gtid
+    setp.ge.s32 p_out, r_i, c_n
+@p_out bra DONE
+    shl.s32 r_off, r_i, 2
+    add.s32 r_addr, c_in, r_off
+    ld.global.f32 r_v, [r_addr]
+{BODY}
+DONE:
+    exit
+"""
+
+# Basic Test&Set: every waiting lane attempts the exchange each
+# iteration (the atomic *is* the test); a winner that is not the ticket
+# holder releases the lock immediately.  The pseudo-random per-warp
+# retry delay models the natural timing spread of contended retries on
+# real hardware; without it the simulator's regular loop timing lets
+# one warp's retries phase-lock ahead of the ticket holder's forever.
+_TS_BODY = """
+    shr.s32 r_wid, r_i, 5
+    mov.s32 r_it, 0
+LOOP:
+    mov.s32 r_old, 1
+    atom.global.exch.s32 r_old, [c_lock], 1
+    setp.eq.s32 p_got, r_old, 0
+    ld.global.s32 r_ns, [c_serving]
+    setp.eq.s32 p_mine, r_ns, r_i
+    and.pred p_crit, p_got, p_mine
+    not.pred p_notmine, p_mine
+    and.pred p_giveback, p_got, p_notmine
+@p_giveback st.global.s32 [c_lock], 0
+@p_crit ld.global.f32 r_s, [c_out]
+@p_crit add.f32 r_s, r_s, r_v
+@p_crit st.global.f32 [c_out], r_s
+@p_crit st.global.s32 [c_lock], 0
+@p_crit add.s32 r_n1, r_i, 1
+@p_crit st.global.s32 [c_serving], r_n1
+@p_crit mov.s32 r_flag, 1
+    add.s32 r_it, r_it, 1
+    mul.s32 r_ps, r_it, 13
+    mad.s32 r_ps, r_wid, 7, r_ps
+    and.s32 r_ps, r_ps, 255
+    add.s32 r_ps, r_ps, 64
+    setp.eq.s32 p_todo, r_flag, 0
+@p_todo sleep r_ps
+@p_todo bra LOOP
+"""
+
+# Test&Set with exponential backoff: a lane only attempts the exchange
+# on its ticket turn, and the warp backs off exponentially between
+# polls, trading turn-discovery latency for traffic.
+_TS_BACKOFF_BODY = """
+    mov.s32 r_back, 16
+LOOP:
+    ld.global.s32 r_ns, [c_serving]
+    setp.eq.s32 p_mine, r_ns, r_i
+@p_mine atom.global.exch.s32 r_old, [c_lock], 1
+@p_mine ld.global.f32 r_s, [c_out]
+@p_mine add.f32 r_s, r_s, r_v
+@p_mine st.global.f32 [c_out], r_s
+@p_mine st.global.s32 [c_lock], 0
+@p_mine add.s32 r_n1, r_i, 1
+@p_mine st.global.s32 [c_serving], r_n1
+@p_mine mov.s32 r_flag, 1
+    setp.eq.s32 p_todo, r_flag, 0
+@p_todo sleep r_back
+    shl.s32 r_back, r_back, 1
+    min.s32 r_back, r_back, 512
+@p_todo bra LOOP
+"""
+
+# Test&Test&Set: watch the lock and the ticket with plain loads, and
+# only attempt the exchange when the lock looks free on this lane's
+# turn — minimum atomic traffic, fastest turn discovery.
+_TTS_BODY = """
+LOOP:
+    mov.s32 r_old, 1
+    ld.global.s32 r_lk, [c_lock]
+    setp.eq.s32 p_free, r_lk, 0
+    ld.global.s32 r_ns, [c_serving]
+    setp.eq.s32 p_mine, r_ns, r_i
+    and.pred p_try, p_free, p_mine
+@p_try atom.global.exch.s32 r_old, [c_lock], 1
+    setp.eq.s32 p_got, r_old, 0
+    and.pred p_crit, p_try, p_got
+@p_crit ld.global.f32 r_s, [c_out]
+@p_crit add.f32 r_s, r_s, r_v
+@p_crit st.global.f32 [c_out], r_s
+@p_crit st.global.s32 [c_lock], 0
+@p_crit add.s32 r_n1, r_i, 1
+@p_crit st.global.s32 [c_serving], r_n1
+@p_crit mov.s32 r_flag, 1
+    setp.eq.s32 p_todo, r_flag, 0
+@p_todo bra LOOP
+"""
+
+_PROGRAMS = {
+    "ts": assemble(_TEMPLATE.format(BODY=_TS_BODY)),
+    "ts_backoff": assemble(_TEMPLATE.format(BODY=_TS_BACKOFF_BODY)),
+    "tts": assemble(_TEMPLATE.format(BODY=_TTS_BODY)),
+}
+
+LOCK_ALGORITHMS = tuple(_PROGRAMS)
+
+
+def build_lock_sum(
+    algorithm: str, n: int = 512, seed: int = 0, cta_dim: int = 128
+) -> Workload:
+    """Sum ``n`` elements under the given lock algorithm.
+
+    The expected result equals the f32 left-to-right sum in thread-id
+    order (tickets serialize the critical sections in that order).
+    """
+    try:
+        prog = _PROGRAMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown lock algorithm {algorithm!r}; choose from {LOCK_ALGORITHMS}"
+        ) from None
+    rng = np.random.default_rng(seed)
+    data = (rng.standard_normal(n) * 100).astype(np.float32)
+    mem = GlobalMemory()
+    base_in = mem.alloc("in", n, "f32", init=data)
+    base_out = mem.alloc("out", 1, "f32")
+    base_lock = mem.alloc("lock", 1, "s32")
+    base_serving = mem.alloc("serving", 1, "s32")
+    kernel = Kernel(
+        f"lock_{algorithm}",
+        prog,
+        grid_dim=-(-n // cta_dim),
+        cta_dim=cta_dim,
+        params={
+            "c_in": base_in,
+            "c_out": base_out,
+            "c_lock": base_lock,
+            "c_serving": base_serving,
+            "c_n": n,
+        },
+    )
+    # Reference: f32 chain in ticket (thread-id) order.
+    acc = np.float32(0.0)
+    for v in data:
+        acc = np.float32(acc + v)
+    return Workload(
+        name=f"lock_{algorithm}_{n}",
+        mem=mem,
+        kernels=[kernel],
+        outputs=["out"],
+        info={"n": n, "algorithm": algorithm, "reference_f32": float(acc)},
+    )

@@ -1,0 +1,196 @@
+"""Microbenchmarks (paper Section II-C, Fig 2; validation, Section V).
+
+``build_atomic_sum`` is the paper's microbenchmark: every thread
+atomically adds one array element into a single output word.  The
+reduction order is whatever the architecture produces, so on the
+baseline GPU the f32 result varies run to run, while DAB pins it.
+
+``build_order_sensitive`` is the validation benchmark of Section V
+("a benchmark whose output is sensitive to the order of atomics"):
+element magnitudes span many binades so almost any reordering changes
+the rounded sum — used to *prove* non-determinism of the baseline and
+determinism of DAB/GPUDet bit-for-bit.
+
+``build_multi_target`` scatters reductions over a configurable number
+of output words with a strided pattern — a knob for contention and
+coalescing studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.isa import assemble
+from repro.arch.kernel import Kernel
+from repro.memory.globalmem import GlobalMemory
+from repro.workloads import Workload
+
+_SUM_PROG = assemble("""
+    mov.s32 r_i, %gtid
+    setp.ge.s32 p_done, r_i, c_n
+@p_done bra DONE
+    shl.s32 r_off, r_i, 2
+    add.s32 r_addr, c_in, r_off
+    ld.global.f32 r_v, [r_addr]
+    red.global.add.f32 [c_out], r_v
+DONE:
+    exit
+""")
+
+_HISTOGRAM_PROG = assemble("""
+    mov.s32 r_i, %gtid
+    setp.ge.s32 p_done, r_i, c_n
+@p_done bra DONE
+    shl.s32 r_off, r_i, 2
+    add.s32 r_addr, c_in, r_off
+    ld.global.s32 r_v, [r_addr]
+    rem.s32 r_b, r_v, c_bins
+    shl.s32 r_boff, r_b, 2
+    add.s32 r_baddr, c_hist, r_boff
+    mov.s32 r_one, 1
+    red.global.add.s32 [r_baddr], r_one
+DONE:
+    exit
+""")
+
+_SCATTER_PROG = assemble("""
+    mov.s32 r_i, %gtid
+    setp.ge.s32 p_done, r_i, c_n
+@p_done bra DONE
+    shl.s32 r_off, r_i, 2
+    add.s32 r_addr, c_in, r_off
+    ld.global.f32 r_v, [r_addr]
+    rem.s32 r_t, r_i, c_m
+    shl.s32 r_toff, r_t, 2
+    add.s32 r_taddr, c_out, r_toff
+    red.global.add.f32 [r_taddr], r_v
+DONE:
+    exit
+""")
+
+
+def build_atomic_sum(n: int = 4096, seed: int = 0, cta_dim: int = 256) -> Workload:
+    """All threads ``atomicAdd`` into one word (Fig 2's atomicAdd bar)."""
+    rng = np.random.default_rng(seed)
+    data = (rng.standard_normal(n) * 100).astype(np.float32)
+    mem = GlobalMemory()
+    base_in = mem.alloc("in", n, "f32", init=data)
+    base_out = mem.alloc("out", 1, "f32")
+    kernel = Kernel(
+        "atomic_sum",
+        _SUM_PROG,
+        grid_dim=-(-n // cta_dim),
+        cta_dim=cta_dim,
+        params={"c_in": base_in, "c_out": base_out, "c_n": n},
+    )
+    return Workload(
+        name=f"atomic_sum_{n}",
+        mem=mem,
+        kernels=[kernel],
+        outputs=["out"],
+        info={"n": n, "reference_f64": float(np.sum(data.astype(np.float64)))},
+    )
+
+
+def build_order_sensitive(n: int = 1024, seed: int = 3, cta_dim: int = 128) -> Workload:
+    """Section V validation benchmark: output highly order-sensitive.
+
+    Values span ~12 binades, so the binary32 sum changes under almost
+    any reordering of the reduction.
+    """
+    rng = np.random.default_rng(seed)
+    exponents = rng.integers(-6, 7, size=n)
+    mantissa = rng.uniform(1.0, 2.0, size=n)
+    signs = rng.choice([-1.0, 1.0], size=n)
+    data = (signs * mantissa * (2.0 ** exponents)).astype(np.float32)
+    mem = GlobalMemory()
+    base_in = mem.alloc("in", n, "f32", init=data)
+    base_out = mem.alloc("out", 1, "f32")
+    kernel = Kernel(
+        "order_sensitive",
+        _SUM_PROG,
+        grid_dim=-(-n // cta_dim),
+        cta_dim=cta_dim,
+        params={"c_in": base_in, "c_out": base_out, "c_n": n},
+    )
+    return Workload(
+        name=f"order_sensitive_{n}",
+        mem=mem,
+        kernels=[kernel],
+        outputs=["out"],
+        info={"n": n},
+    )
+
+
+def build_histogram(
+    n: int = 4096, bins: int = 64, seed: int = 0, cta_dim: int = 256
+) -> Workload:
+    """Integer histogram via ``red.global.add.s32``.
+
+    Integer addition is associative, so the *values* are identical on
+    every architecture (including the non-deterministic baseline) — a
+    useful contrast workload: GPU non-determinism only bites
+    non-associative (floating-point) reductions (paper Section III-B).
+    """
+    if bins < 1:
+        raise ValueError("need at least one bin")
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 1_000_000, size=n)
+    mem = GlobalMemory()
+    base_in = mem.alloc("in", n, "s32", init=data)
+    base_hist = mem.alloc("hist", bins, "s32")
+    kernel = Kernel(
+        "histogram",
+        _HISTOGRAM_PROG,
+        grid_dim=-(-n // cta_dim),
+        cta_dim=cta_dim,
+        params={
+            "c_in": base_in,
+            "c_hist": base_hist,
+            "c_n": n,
+            "c_bins": bins,
+        },
+    )
+    ref = np.bincount(data % bins, minlength=bins)
+    return Workload(
+        name=f"histogram_{n}x{bins}",
+        mem=mem,
+        kernels=[kernel],
+        outputs=["hist"],
+        info={"n": n, "bins": bins, "reference": ref},
+    )
+
+
+def build_multi_target(
+    n: int = 4096, targets: int = 64, seed: int = 0, cta_dim: int = 256
+) -> Workload:
+    """Strided scatter-reduction over ``targets`` output words."""
+    if targets < 1:
+        raise ValueError("need at least one target")
+    rng = np.random.default_rng(seed)
+    data = (rng.standard_normal(n) * 10).astype(np.float32)
+    mem = GlobalMemory()
+    base_in = mem.alloc("in", n, "f32", init=data)
+    base_out = mem.alloc("out", targets, "f32")
+    kernel = Kernel(
+        "multi_target",
+        _SCATTER_PROG,
+        grid_dim=-(-n // cta_dim),
+        cta_dim=cta_dim,
+        params={
+            "c_in": base_in,
+            "c_out": base_out,
+            "c_n": n,
+            "c_m": targets,
+        },
+    )
+    refs = np.zeros(targets, dtype=np.float64)
+    for i in range(n):
+        refs[i % targets] += float(data[i])
+    return Workload(
+        name=f"multi_target_{n}x{targets}",
+        mem=mem,
+        kernels=[kernel],
+        outputs=["out"],
+        info={"n": n, "targets": targets, "reference_f64": refs},
+    )

@@ -1,0 +1,138 @@
+"""Push-based PageRank (paper Sections II-B, V-A, Table II "PRK coA").
+
+Each iteration, a thread per node pushes ``rank[u] * d / out_degree(u)``
+to every out-neighbour with ``red.global.add.f32`` into the next-rank
+array — "every thread performs atomic updates at every iteration, and
+the number of atomics executed per thread varies greatly"
+(Section VI-A1), which is what makes PRK the heaviest atomics-PKI
+workload in Table II (47.2).
+
+The host swaps rank arrays between iterations by relaunching the kernel
+with swapped buffer parameters, as the CUDA host does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.isa import assemble
+from repro.arch.kernel import Kernel
+from repro.memory.globalmem import GlobalMemory
+from repro.workloads import Workload
+from repro.workloads.graphs import CSRGraph, generate
+
+DAMPING = 0.85
+
+_PUSH_PROG = assemble("""
+    mov.s32 r_u, %gtid
+    setp.ge.s32 p_out, r_u, c_n
+@p_out bra DONE
+    shl.s32 r_off, r_u, 2
+    add.s32 r_rp, c_rowptr, r_off
+    ld.global.s32 r_e, [r_rp]
+    ld.global.s32 r_eend, [r_rp+4]
+    sub.s32 r_deg, r_eend, r_e
+    setp.le.s32 p_sink, r_deg, 0
+@p_sink bra DONE
+    add.s32 r_ra, c_rank, r_off
+    ld.global.f32 r_rank, [r_ra]
+    mul.f32 r_w, r_rank, c_damp
+    cvt.f32.s32 r_degf, r_deg
+    div.f32 r_w, r_w, r_degf
+ELOOP:
+    setp.ge.s32 p_edone, r_e, r_eend
+@p_edone bra DONE
+    shl.s32 r_eo, r_e, 2
+    add.s32 r_ca, c_colidx, r_eo
+    ld.global.s32 r_v, [r_ca]
+    shl.s32 r_vo, r_v, 2
+    add.s32 r_na, c_next, r_vo
+    red.global.add.f32 [r_na], r_w
+    add.s32 r_e, r_e, 1
+    bra ELOOP
+DONE:
+    exit
+""")
+
+
+def pagerank_reference(g: CSRGraph, iterations: int, damping: float = DAMPING):
+    """Host float64 reference with the same push formulation."""
+    n = g.num_nodes
+    rank = np.full(n, 1.0 / n, dtype=np.float64)
+    base = (1.0 - damping) / n
+    for _ in range(iterations):
+        nxt = np.full(n, base, dtype=np.float64)
+        for u in range(n):
+            lo, hi = int(g.row_ptr[u]), int(g.row_ptr[u + 1])
+            deg = hi - lo
+            if deg <= 0:
+                continue
+            w = rank[u] * damping / deg
+            for e in range(lo, hi):
+                nxt[int(g.col_idx[e])] += w
+        rank = nxt
+    return rank
+
+
+def build_pagerank(
+    graph: str = "coA",
+    scale: int = 0,
+    seed: int = 42,
+    iterations: int = 3,
+    cta_dim: int = 128,
+) -> Workload:
+    g = graph if isinstance(graph, CSRGraph) else generate(graph, scale, seed)
+    n = g.num_nodes
+    mem = GlobalMemory()
+    b_rp = mem.alloc("rowptr", n + 1, "s32", init=g.row_ptr)
+    b_ci = mem.alloc("colidx", max(1, g.num_edges), "s32",
+                     init=g.col_idx if g.num_edges else None)
+    init_rank = np.full(n, np.float32(1.0 / n), dtype=np.float32)
+    b_rank = mem.alloc("rank", n, "f32", init=init_rank)
+    b_next = mem.alloc("next_rank", n, "f32")
+    grid = -(-n // cta_dim)
+    base_term = np.float32((1.0 - DAMPING) / n)
+
+    def driver(gpu):
+        result = None
+        bufs = [("rank", b_rank), ("next_rank", b_next)]
+        for it in range(iterations):
+            src_name, src = bufs[it % 2]
+            dst_name, dst = bufs[(it + 1) % 2]
+            mem.buffer(dst_name)[:] = base_term
+            gpu.launch(
+                Kernel(
+                    f"pagerank_it{it}",
+                    _PUSH_PROG,
+                    grid,
+                    cta_dim,
+                    params={
+                        "c_n": n,
+                        "c_rowptr": b_rp,
+                        "c_colidx": b_ci,
+                        "c_rank": src,
+                        "c_next": dst,
+                        "c_damp": float(DAMPING),
+                    },
+                )
+            )
+            result = gpu.run()
+        return result
+
+    final_buf = "next_rank" if iterations % 2 == 1 else "rank"
+    return Workload(
+        name=f"pagerank_{g.name}",
+        mem=mem,
+        kernels=[],
+        outputs=[final_buf],
+        driver=driver,
+        info={
+            "graph": g.name,
+            "nodes": n,
+            "edges": g.num_edges,
+            "scale": g.scale,
+            "iterations": iterations,
+            "final_buffer": final_buf,
+            "paper_atomics_pki": g.spec.paper_atomics_pki if g.spec else None,
+        },
+    )

@@ -1,0 +1,139 @@
+"""Single-Source Shortest Paths via push-based atomic relaxation.
+
+A Pannotia-style companion workload to BC/PageRank (the paper evaluates
+those two; SSSP exercises the remaining ``red`` flavour, integer
+``min``).  Each iteration every reached node pushes
+``dist[u] + w(u,v)`` to its neighbours with ``red.global.min.s32``; the
+host relaunches until a device flag reports no improvement (chaotic
+relaxation — stale reads only delay convergence, never break it).
+
+Integer ``min`` is associative, commutative and idempotent, so the
+*final distances* are identical on every architecture — including the
+non-deterministic baseline.  That makes SSSP the control workload for
+the paper's argument: GPU non-determinism is a problem specifically for
+non-associative floating-point reductions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.isa import assemble
+from repro.arch.kernel import Kernel
+from repro.memory.globalmem import GlobalMemory
+from repro.workloads import Workload
+from repro.workloads.graphs import CSRGraph, generate
+
+INF = 1 << 30
+
+_RELAX_PROG = assemble("""
+    mov.s32 r_u, %gtid
+    setp.ge.s32 p_out, r_u, c_n
+@p_out bra DONE
+    shl.s32 r_off, r_u, 2
+    add.s32 r_da, c_dist, r_off
+    ld.global.s32 r_du, [r_da]
+    setp.ge.s32 p_unreached, r_du, c_inf
+@p_unreached bra DONE
+    add.s32 r_rp, c_rowptr, r_off
+    ld.global.s32 r_e, [r_rp]
+    ld.global.s32 r_eend, [r_rp+4]
+ELOOP:
+    setp.ge.s32 p_edone, r_e, r_eend
+@p_edone bra DONE
+    shl.s32 r_eo, r_e, 2
+    add.s32 r_ca, c_colidx, r_eo
+    ld.global.s32 r_v, [r_ca]
+    add.s32 r_wa, c_weights, r_eo
+    ld.global.s32 r_w, [r_wa]
+    add.s32 r_nd, r_du, r_w
+    shl.s32 r_vo, r_v, 2
+    add.s32 r_dva, c_dist, r_vo
+    ld.global.s32 r_dv, [r_dva]
+    setp.gt.s32 p_improve, r_dv, r_nd
+@p_improve red.global.min.s32 [r_dva], r_nd
+@p_improve red.global.max.s32 [c_flag], 1
+    add.s32 r_e, r_e, 1
+    bra ELOOP
+DONE:
+    exit
+""")
+
+
+def sssp_reference(g: CSRGraph, weights: np.ndarray, source: int = 0) -> np.ndarray:
+    """Host Bellman-Ford reference."""
+    n = g.num_nodes
+    dist = np.full(n, INF, dtype=np.int64)
+    dist[source] = 0
+    for _ in range(n):
+        changed = False
+        for u in range(n):
+            if dist[u] >= INF:
+                continue
+            for e in range(int(g.row_ptr[u]), int(g.row_ptr[u + 1])):
+                v = int(g.col_idx[e])
+                nd = dist[u] + int(weights[e])
+                if nd < dist[v]:
+                    dist[v] = nd
+                    changed = True
+        if not changed:
+            break
+    return dist
+
+
+def build_sssp(
+    graph: str = "FA",
+    scale: int = 0,
+    seed: int = 42,
+    source: int = 0,
+    cta_dim: int = 128,
+    max_weight: int = 15,
+) -> Workload:
+    g = graph if isinstance(graph, CSRGraph) else generate(graph, scale, seed)
+    n = g.num_nodes
+    rng = np.random.default_rng(seed + 101)
+    weights = rng.integers(1, max_weight + 1, size=max(1, g.num_edges))
+
+    mem = GlobalMemory()
+    b_rp = mem.alloc("rowptr", n + 1, "s32", init=g.row_ptr)
+    b_ci = mem.alloc("colidx", max(1, g.num_edges), "s32",
+                     init=g.col_idx if g.num_edges else None)
+    b_w = mem.alloc("weights", max(1, g.num_edges), "s32", init=weights)
+    dist_init = np.full(n, INF, dtype=np.int64)
+    dist_init[source] = 0
+    b_dist = mem.alloc("dist", n, "s32", init=dist_init)
+    b_flag = mem.alloc("flag", 1, "s32")
+    grid = -(-n // cta_dim)
+
+    def driver(gpu):
+        result = None
+        for it in range(2 * n + 1):
+            mem.buffer("flag")[0] = 0
+            gpu.launch(Kernel(
+                f"sssp_it{it}", _RELAX_PROG, grid, cta_dim,
+                params={
+                    "c_n": n, "c_rowptr": b_rp, "c_colidx": b_ci,
+                    "c_weights": b_w, "c_dist": b_dist, "c_flag": b_flag,
+                    "c_inf": INF,
+                },
+            ))
+            result = gpu.run()
+            if int(mem.buffer("flag")[0]) == 0:
+                return result
+        raise RuntimeError("SSSP failed to converge")
+
+    return Workload(
+        name=f"sssp_{g.name}",
+        mem=mem,
+        kernels=[],
+        outputs=["dist"],
+        driver=driver,
+        info={
+            "graph": g.name,
+            "nodes": n,
+            "edges": g.num_edges,
+            "scale": g.scale,
+            "source": source,
+            "reference": sssp_reference(g, weights, source),
+        },
+    )

@@ -1,0 +1,80 @@
+"""Exhaustive determinism sweep: every workload family x every
+deterministic architecture variant must be bitwise stable across jitter
+seeds.  This is the repository's strongest check of the paper's claim.
+"""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.dab import DABConfig
+from repro.gpudet.gpudet import GPUDetConfig
+from repro.sim.gpu import GPU
+from repro.sim.nondet import JitterSource
+from repro.workloads.bc import build_bc
+from repro.workloads.convolution import build_conv
+from repro.workloads.graphs import generate
+from repro.workloads.microbench import build_order_sensitive
+from repro.workloads.pagerank import build_pagerank
+
+SEEDS = (1, 2, 3)
+
+WORKLOADS = {
+    "bc": lambda: build_bc(generate("FA", scale=64, seed=5)),
+    "pagerank": lambda: build_pagerank(generate("coA", scale=4096, seed=5),
+                                       iterations=2),
+    "conv_1x1": lambda: build_conv("cnv2_1"),
+    "conv_3x3": lambda: build_conv("cnv2_2"),
+    "conv_gating": lambda: build_conv("cnv2_2g"),
+    "microbench": lambda: build_order_sensitive(n=512),
+}
+
+DAB_VARIANTS = {
+    "srr-64": DABConfig(buffer_entries=64, scheduler="srr"),
+    "gtrr-64": DABConfig(buffer_entries=64, scheduler="gtrr"),
+    "gtar-64": DABConfig(buffer_entries=64, scheduler="gtar"),
+    "gwat-64": DABConfig(buffer_entries=64, scheduler="gwat"),
+    "gwat-32-AF": DABConfig(buffer_entries=32, scheduler="gwat", fusion=True),
+    "paper": DABConfig.paper_default(),
+    "warp-gto": DABConfig.warp_level(),
+    "offset": DABConfig(buffer_entries=64, scheduler="gwat", fusion=True,
+                        offset_flush=True),
+}
+
+
+def digests_across_seeds(factory, dab=None, gpudet=None, config=None):
+    digests = set()
+    for seed in SEEDS:
+        wl = factory()
+        gpu = GPU(config or GPUConfig.small(), wl.mem, dab=dab, gpudet=gpudet,
+                  jitter=JitterSource(seed, dram_max=48, icnt_max=24))
+        wl.drive(gpu)
+        digests.add(wl.output_digest())
+    return digests
+
+
+@pytest.mark.parametrize("wname", sorted(WORKLOADS))
+@pytest.mark.parametrize("vname", sorted(DAB_VARIANTS))
+def test_dab_variant_bitwise_stable(wname, vname):
+    digests = digests_across_seeds(WORKLOADS[wname], dab=DAB_VARIANTS[vname])
+    assert len(digests) == 1, f"{wname} under {vname} varied across seeds"
+
+
+@pytest.mark.parametrize("wname", sorted(WORKLOADS))
+def test_gpudet_bitwise_stable(wname):
+    digests = digests_across_seeds(WORKLOADS[wname], gpudet=GPUDetConfig())
+    assert len(digests) == 1
+
+
+def test_gating_machine_deterministic():
+    gated = GPUConfig.small().replace(num_clusters=3)
+    digests = digests_across_seeds(
+        WORKLOADS["conv_gating"], dab=DAB_VARIANTS["gwat-32-AF"], config=gated
+    )
+    assert len(digests) == 1
+
+
+def test_narrow_machine_deterministic():
+    digests = digests_across_seeds(
+        WORKLOADS["bc"], dab=DAB_VARIANTS["paper"], config=GPUConfig.narrow()
+    )
+    assert len(digests) == 1

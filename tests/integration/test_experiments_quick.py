@@ -1,0 +1,85 @@
+"""Smoke tests for the experiment harness (quick variants).
+
+The benchmark suite runs the full variants; these quick runs make sure
+every experiment function works, its table renders, and the headline
+shape assertions hold even at the smallest scale.
+"""
+
+import pytest
+
+from repro.harness import experiments as E
+
+
+class TestQuickExperiments:
+    def test_fig01(self):
+        t = E.fig01_rounding()
+        assert t.data["differ"]
+        assert "1.01" in t.render()
+
+    def test_fig02(self):
+        t = E.fig02_locks(quick=True)
+        for row in t.data.values():
+            assert row["ts"] > 3
+            assert row["tts"] > 3
+
+    def test_fig03(self):
+        t = E.fig03_gpudet_modes(quick=True)
+        for row in t.data.values():
+            assert 0.99 < row["parallel"] + row["commit"] + row["serial"] < 1.01
+            assert row["slowdown"] > 1.0
+
+    def test_tables(self):
+        t1 = E.table1_config()
+        assert t1.data["Warp Size"] == 32
+        t2 = E.table2_graphs(quick=True)
+        assert all(r["sim_pki"] > 0 for r in t2.data.values())
+        t3 = E.table3_layers(quick=True)
+        assert all(r["sim_pki"] > 0 for r in t3.data.values())
+
+    def test_fig09(self):
+        t = E.fig09_correlation(quick=True)
+        assert -1.0 <= t.data["correlation"] <= 1.0
+
+    def test_fig10(self):
+        t = E.fig10_overall(quick=True)
+        gm = t.data["geomean"]
+        assert gm["DAB"] < gm["GPUDet"]
+
+    def test_fig12(self):
+        t = E.fig12_capacity(quick=True, capacities=(32, 64))
+        for row in t.data.values():
+            assert row[64] <= row[32] * 1.25
+
+    def test_fig13(self):
+        t = E.fig13_fusion(quick=True, capacities=(32,))
+        for row in t.data.values():
+            assert row["GWAT-32-AF"] <= row["GWAT-32"] * 1.1
+
+    def test_fig14(self):
+        t = E.fig14_gating(quick=True)
+        for row in t.data.values():
+            assert row["fused_gated"] > row["fused_full"]
+
+    def test_fig15(self):
+        t = E.fig15_overheads(quick=True)
+        for fr in t.data.values():
+            assert abs(sum(fr.values()) - 1.0) < 0.01
+
+    def test_fig16(self):
+        t = E.fig16_offset(quick=True)
+        for row in t.data.values():
+            assert row["offset"] <= row["plain"] * 1.1
+
+    def test_fig17(self):
+        t = E.fig17_coalescing(quick=True)
+        assert t.data["geomean"]["coal"] <= t.data["geomean"]["plain"] * 1.05
+
+    def test_fig18(self):
+        t = E.fig18_relaxed(quick=True)
+        for row in t.data.values():
+            assert row["DAB-NR-CIF"] <= row["DAB"] * 1.05
+
+    def test_determinism_validation(self):
+        t = E.determinism_validation(seeds=(1, 2))
+        assert t.data["DAB-GWAT-64-AF-Coal"]["deterministic"]
+        assert t.data["GPUDet"]["deterministic"]

@@ -1,0 +1,110 @@
+"""Tests for extension features: histogram workload, checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.dab import DABConfig
+from repro.gpudet.gpudet import GPUDetConfig
+from repro.sim.gpu import GPU, SimulationError
+from repro.sim.nondet import JitterSource
+from repro.workloads.microbench import build_atomic_sum, build_histogram
+
+
+def run(wl, dab=None, gpudet=None, seed=1, config=None):
+    gpu = GPU(config or GPUConfig.tiny(), wl.mem, dab=dab, gpudet=gpudet,
+              jitter=JitterSource(seed, dram_max=48, icnt_max=24))
+    wl.drive(gpu)
+    return gpu
+
+
+class TestHistogram:
+    def test_counts_match_reference(self):
+        wl = build_histogram(n=2048, bins=32)
+        run(wl)
+        assert (wl.mem.buffer("hist") == wl.info["reference"]).all()
+
+    def test_integer_reduction_deterministic_even_on_baseline(self):
+        # Associative integer adds: the baseline is *value*-deterministic
+        # even though its atomic order varies — the paper's point that
+        # non-determinism comes from non-associative f32 specifically.
+        digests = set()
+        for seed in (1, 2, 3):
+            wl = build_histogram(n=2048, bins=32)
+            run(wl, seed=seed)
+            digests.add(wl.output_digest())
+        assert len(digests) == 1
+
+    def test_histogram_under_dab_and_gpudet(self):
+        for kw in ({"dab": DABConfig.paper_default()},
+                   {"gpudet": GPUDetConfig()}):
+            wl = build_histogram(n=1024, bins=16)
+            run(wl, **kw)
+            assert (wl.mem.buffer("hist") == wl.info["reference"]).all()
+
+    def test_bins_validated(self):
+        with pytest.raises(ValueError):
+            build_histogram(bins=0)
+
+    def test_total_count_conserved(self):
+        wl = build_histogram(n=1024, bins=7)
+        run(wl)
+        assert wl.mem.buffer("hist").sum() == 1024
+
+
+class TestCheckpoint:
+    def test_checkpoint_between_kernels(self):
+        wl = build_atomic_sum(n=256)
+        gpu = run(wl, dab=DABConfig.paper_default())
+        digest = gpu.checkpoint()
+        assert digest == wl.mem.snapshot_digest()
+
+    def test_checkpoint_digest_deterministic_across_seeds(self):
+        digests = set()
+        for seed in (1, 2, 3):
+            wl = build_atomic_sum(n=256)
+            gpu = run(wl, dab=DABConfig.paper_default(), seed=seed)
+            digests.add(gpu.checkpoint())
+        assert len(digests) == 1
+
+    def test_checkpoint_requires_idle(self):
+        wl = build_atomic_sum(n=64)
+        gpu = GPU(GPUConfig.tiny(), wl.mem, jitter=JitterSource(1))
+        for k in wl.kernels:
+            gpu.launch(k)
+        with pytest.raises(SimulationError):
+            gpu.checkpoint()  # queued work pending
+
+    def test_resume_after_checkpoint_stays_deterministic(self):
+        # Preempt between two kernel launches; the combined result must
+        # still be seed-invariant under DAB.
+        from repro.arch.isa import assemble
+        from repro.arch.kernel import Kernel
+        from repro.memory.globalmem import GlobalMemory
+
+        prog = assemble("""
+            mov.s32 r_i, %gtid
+            shl.s32 r_off, r_i, 2
+            add.s32 r_addr, c_in, r_off
+            ld.global.f32 r_v, [r_addr]
+            red.global.add.f32 [c_out], r_v
+            exit
+        """)
+        digests = set()
+        for seed in (1, 2, 3):
+            rng = np.random.default_rng(0)
+            data = (rng.standard_normal(128) * 2.0 **
+                    rng.integers(-6, 7, 128)).astype(np.float32)
+            mem = GlobalMemory()
+            b_in = mem.alloc("in", 128, "f32", init=data)
+            b_out = mem.alloc("out", 1, "f32")
+            gpu = GPU(GPUConfig.tiny(), mem, dab=DABConfig.paper_default(),
+                      jitter=JitterSource(seed, dram_max=48, icnt_max=24))
+            params = {"c_in": b_in, "c_out": b_out}
+            gpu.launch(Kernel("k1", prog, 2, 64, params))
+            gpu.run()
+            mid = gpu.checkpoint()
+            gpu.launch(Kernel("k2", prog, 2, 64, params))
+            gpu.run()
+            digests.add((mid, gpu.checkpoint()))
+        assert len(digests) == 1

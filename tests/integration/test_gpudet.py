@@ -1,0 +1,137 @@
+"""Integration tests for the GPUDet baseline (quanta, modes, costs)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.isa import assemble
+from repro.arch.kernel import Kernel
+from repro.config import GPUConfig
+from repro.gpudet.gpudet import GPUDetConfig
+from repro.memory.globalmem import GlobalMemory
+from repro.sim.gpu import GPU
+from repro.sim.nondet import JitterSource
+from tests.integration.conftest import run_sum
+
+
+class TestModes:
+    def test_mode_cycles_sum_to_total(self):
+        res, _, _ = run_sum(n=512, gpudet=GPUDetConfig())
+        total = sum(res.gpudet_mode_cycles.values())
+        assert total == pytest.approx(res.cycles, abs=2)
+
+    def test_atomic_heavy_workload_is_serial_dominated(self):
+        # The Fig 3 shape: atomics force serial mode to dominate.
+        res, _, _ = run_sum(n=1024, gpudet=GPUDetConfig(),
+                            config=GPUConfig.small())
+        modes = res.gpudet_mode_cycles
+        assert modes["serial"] > modes["commit"]
+        assert modes["serial"] > 0.2 * res.cycles
+
+    def test_store_only_kernel_never_enters_serial(self):
+        mem = GlobalMemory()
+        b = mem.alloc("out", 64, "f32")
+        prog = assemble("""
+            mov.s32 r_t, %gtid
+            shl.s32 r_o, r_t, 2
+            add.s32 r_a, c_out, r_o
+            cvt.f32.s32 r_v, r_t
+            st.global.f32 [r_a], r_v
+            exit
+        """)
+        gpu = GPU(GPUConfig.tiny(), mem, gpudet=GPUDetConfig(),
+                  jitter=JitterSource(1))
+        gpu.launch(Kernel("st", prog, grid_dim=2, cta_dim=32,
+                          params={"c_out": b}))
+        res = gpu.run()
+        # stores still committed correctly
+        assert (mem.buffer("out") == np.arange(64, dtype=np.float32)).all()
+
+    def test_gpudet_slower_than_baseline_on_atomics(self):
+        base, _, _ = run_sum(n=1024, config=GPUConfig.small())
+        det, _, _ = run_sum(n=1024, gpudet=GPUDetConfig(),
+                            config=GPUConfig.small())
+        assert det.cycles > base.cycles
+
+    def test_smaller_quantum_means_more_commits(self):
+        r_small, _, _ = run_sum(n=512, gpudet=GPUDetConfig(quantum_instrs=8))
+        r_big, _, _ = run_sum(n=512, gpudet=GPUDetConfig(quantum_instrs=500))
+        assert r_small.cycles >= r_big.cycles
+
+
+class TestStoreBufferSemantics:
+    def test_loads_see_own_stores_within_quantum(self):
+        mem = GlobalMemory()
+        b = mem.alloc("buf", 32, "f32")
+        b_out = mem.alloc("out", 32, "f32")
+        prog = assemble("""
+            mov.s32 r_t, %gtid
+            shl.s32 r_o, r_t, 2
+            add.s32 r_a, c_buf, r_o
+            mov.f32 r_v, 7.5
+            st.global.f32 [r_a], r_v
+            ld.global.f32 r_w, [r_a]
+            add.s32 r_b, c_out, r_o
+            st.global.f32 [r_b], r_w
+            exit
+        """)
+        gpu = GPU(GPUConfig.tiny(), mem, gpudet=GPUDetConfig(),
+                  jitter=JitterSource(1))
+        gpu.launch(Kernel("rw", prog, grid_dim=1, cta_dim=32,
+                          params={"c_buf": b, "c_out": b_out}))
+        gpu.run()
+        assert (mem.buffer("out") == np.float32(7.5)).all()
+
+    def test_stores_commit_at_quantum_boundary(self):
+        res, value, data = run_sum(n=256, gpudet=GPUDetConfig())
+        ref = float(np.sum(data.astype(np.float64)))
+        assert value == pytest.approx(ref, rel=1e-2, abs=1e-2)
+
+    def test_returning_atomics_work_in_serial_mode(self):
+        mem = GlobalMemory()
+        b = mem.alloc("ctr", 1, "s32")
+        b_out = mem.alloc("out", 32, "s32")
+        prog = assemble("""
+            atom.global.add.s32 r_old, [c_ctr], 1
+            mov.s32 r_t, %gtid
+            shl.s32 r_o, r_t, 2
+            add.s32 r_a, c_out, r_o
+            st.global.s32 [r_a], r_old
+            exit
+        """)
+        gpu = GPU(GPUConfig.tiny(), mem, gpudet=GPUDetConfig(),
+                  jitter=JitterSource(1))
+        gpu.launch(Kernel("ticket", prog, grid_dim=1, cta_dim=32,
+                          params={"c_ctr": b, "c_out": b_out}))
+        gpu.run()
+        # every lane got a unique ticket 0..31
+        assert sorted(mem.buffer("out")) == list(range(32))
+        assert mem.buffer("ctr")[0] == 32
+
+    def test_barrier_releases_after_commit(self):
+        mem = GlobalMemory()
+        b = mem.alloc("buf", 64, "f32")
+        b_out = mem.alloc("res", 64, "f32")
+        prog = assemble("""
+            mov.s32 r_t, %tid
+            shl.s32 r_o, r_t, 2
+            add.s32 r_a, c_buf, r_o
+            cvt.f32.s32 r_v, r_t
+            st.global.f32 [r_a], r_v
+            bar.sync
+            mov.s32 r_u, 63
+            sub.s32 r_u, r_u, r_t
+            shl.s32 r_uo, r_u, 2
+            add.s32 r_ua, c_buf, r_uo
+            ld.global.f32 r_w, [r_ua]
+            add.s32 r_ra, c_res, r_o
+            st.global.f32 [r_ra], r_w
+            exit
+        """)
+        gpu = GPU(GPUConfig.tiny(), mem, gpudet=GPUDetConfig(),
+                  jitter=JitterSource(1))
+        gpu.launch(Kernel("bar", prog, grid_dim=1, cta_dim=64,
+                          params={"c_buf": b, "c_res": b_out}))
+        gpu.run()
+        expect = np.arange(63, -1, -1, dtype=np.float32)
+        # cross-warp visibility through the commit: exact values
+        assert (mem.buffer("res") == expect).all()

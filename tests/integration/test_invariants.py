@@ -1,0 +1,113 @@
+"""Cross-cutting simulator invariants checked on live runs."""
+
+import numpy as np
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.dab import DABConfig
+from repro.sim.gpu import GPU
+from repro.sim.nondet import JitterSource
+from repro.workloads.bc import build_bc
+from repro.workloads.convolution import build_conv
+from repro.workloads.graphs import generate
+from repro.workloads.microbench import build_multi_target
+
+
+def run(wl, dab=None, config=None, seed=1):
+    gpu = GPU(config or GPUConfig.small(), wl.mem, dab=dab,
+              jitter=JitterSource(seed))
+    res = wl.drive(gpu)
+    return gpu, res
+
+
+class TestBufferInvariants:
+    def test_all_buffers_empty_after_run(self):
+        wl = build_multi_target(2048, 32)
+        gpu, _ = run(wl, dab=DABConfig.paper_default())
+        for sm in gpu.sms:
+            for buf in sm.buffers:
+                assert not buf.non_empty
+                assert not buf.full
+
+    def test_flush_reorder_buffers_drained(self):
+        wl = build_conv("cnv2_2")
+        gpu, _ = run(wl, dab=DABConfig.paper_default())
+        for p in gpu.partitions:
+            assert p.flush_round_complete
+            assert p.flush_reorder.occupancy == 0
+
+    def test_flushed_entries_equal_inserted_minus_fused(self):
+        wl = build_multi_target(2048, 32)
+        gpu, res = run(wl, dab=DABConfig(buffer_entries=64, scheduler="gwat",
+                                         fusion=True))
+        inserted = sum(b.stats.inserts for sm in gpu.sms for b in sm.buffers)
+        fused = sum(b.stats.fused for sm in gpu.sms for b in sm.buffers)
+        flushed = sum(b.stats.flushed_entries
+                      for sm in gpu.sms for b in sm.buffers)
+        assert flushed == inserted - fused
+
+    def test_every_red_reaches_memory(self):
+        wl = build_multi_target(2048, 32)
+        gpu, res = run(wl, dab=DABConfig(buffer_entries=64, scheduler="gwat"))
+        applied = sum(p.stats.flush_entries for p in gpu.partitions)
+        inserted = sum(b.stats.inserts for sm in gpu.sms for b in sm.buffers)
+        assert applied == inserted
+
+
+class TestCounterInvariants:
+    def test_no_outstanding_work_after_run(self):
+        wl = build_bc(generate("FA", 64, seed=2))
+        gpu, _ = run(wl)
+        assert gpu.pending_atomic_packets == 0
+        assert gpu.pending_store_acks == 0
+        for sm in gpu.sms:
+            for w in sm.all_warps():
+                assert w.outstanding_loads == 0
+                assert w.outstanding_stores == 0
+                assert w.outstanding_atoms == 0
+                assert w.done
+
+    def test_instruction_counts_match_warp_totals(self):
+        wl = build_multi_target(1024, 16)
+        gpu, res = run(wl)
+        warp_instrs = sum(w.dyn_instrs for sm in gpu.sms
+                          for w in sm.all_warps())
+        # all warps still resident for a single kernel -> exact match
+        assert warp_instrs == res.instructions
+
+    def test_atomics_counted_once_per_warp_instruction(self):
+        wl = build_multi_target(1024, 16)
+        gpu, res = run(wl)
+        warp_atomics = sum(w.dyn_atomics for sm in gpu.sms
+                           for w in sm.all_warps())
+        assert warp_atomics == res.atomics
+
+    def test_l1_stats_conserve(self):
+        wl = build_bc(generate("FA", 64, seed=2))
+        gpu, _ = run(wl)
+        for sm in gpu.sms:
+            s = sm.l1.stats
+            assert s.hits + s.misses == s.accesses
+
+
+class TestSchedulingInvariants:
+    def test_gwat_single_token_per_scheduler(self):
+        wl = build_multi_target(2048, 32)
+        gpu, _ = run(wl, dab=DABConfig(buffer_entries=64, scheduler="gwat"))
+        for sm in gpu.sms:
+            for sched in sm.schedulers:
+                tok = sched.token_slot
+                assert tok is None or 0 <= tok < sched.num_slots
+
+    def test_dispatch_is_static_under_dab(self):
+        # same workload, different seeds: identical warp->SM placement
+        placements = set()
+        for seed in (1, 2):
+            wl = build_bc(generate("FA", 64, seed=2))
+            gpu, _ = run(wl, dab=DABConfig.paper_default(), seed=seed)
+            layout = tuple(
+                (sm.sm_id, w.cta.cta_id, w.scheduler_id, w.hw_slot)
+                for sm in gpu.sms for w in sm.all_warps()
+            )
+            placements.add(layout)
+        assert len(placements) == 1

@@ -1,0 +1,227 @@
+"""Integration tests: the simulator runs kernels and computes correctly."""
+
+import numpy as np
+import pytest
+
+from repro.arch.isa import assemble
+from repro.arch.kernel import Kernel
+from repro.config import GPUConfig
+from repro.core.dab import DABConfig
+from repro.memory.globalmem import GlobalMemory
+from repro.sim.gpu import GPU, SimulationError
+from repro.sim.nondet import JitterSource
+
+from tests.integration.conftest import run_sum
+
+
+class TestBasicExecution:
+    def test_sum_value_close_to_reference(self):
+        res, value, data = run_sum(n=256)
+        ref = float(np.sum(data.astype(np.float64)))
+        assert value == pytest.approx(ref, rel=1e-3, abs=1e-2)
+        assert res.cycles > 0
+        assert res.atomics == 256 // 32  # one red instruction per warp
+
+    def test_multi_kernel_sequencing(self):
+        mem = GlobalMemory()
+        b = mem.alloc("x", 1, "s32")
+        prog = assemble("""
+            mov.s32 r_one, 1
+            red.global.add.s32 [c_x], r_one
+            exit
+        """)
+        gpu = GPU(GPUConfig.tiny(), mem, jitter=JitterSource(1))
+        for i in range(3):
+            gpu.launch(Kernel(f"k{i}", prog, grid_dim=1, cta_dim=32,
+                              params={"c_x": b}))
+        res = gpu.run()
+        assert res.kernels == 3
+        assert mem.buffer("x")[0] == 3 * 32
+
+    def test_store_load_roundtrip_through_memory_system(self):
+        mem = GlobalMemory()
+        n = 64
+        b_in = mem.alloc("in", n, "f32",
+                         init=np.arange(n, dtype=np.float32))
+        b_out = mem.alloc("out", n, "f32")
+        prog = assemble("""
+            mov.s32 r_i, %gtid
+            setp.ge.s32 p_d, r_i, c_n
+        @p_d bra DONE
+            shl.s32 r_o, r_i, 2
+            add.s32 r_a, c_in, r_o
+            ld.global.f32 r_v, [r_a]
+            mul.f32 r_v, r_v, 2.0
+            add.s32 r_b, c_out, r_o
+            st.global.f32 [r_b], r_v
+        DONE:
+            exit
+        """)
+        gpu = GPU(GPUConfig.tiny(), mem, jitter=JitterSource(1))
+        gpu.launch(Kernel("scale", prog, grid_dim=2, cta_dim=32,
+                          params={"c_in": b_in, "c_out": b_out, "c_n": n}))
+        gpu.run()
+        assert (mem.buffer("out") == np.arange(n, dtype=np.float32) * 2).all()
+
+    def test_barrier_synchronizes_cta(self):
+        # Warp 1 stores, all warps barrier, warp 0 reads what warp 1 wrote.
+        mem = GlobalMemory()
+        b = mem.alloc("buf", 64, "f32")
+        b_out = mem.alloc("res", 64, "f32")
+        prog = assemble("""
+            mov.s32 r_t, %tid
+            shl.s32 r_o, r_t, 2
+            add.s32 r_a, c_buf, r_o
+            cvt.f32.s32 r_v, r_t
+            st.global.f32 [r_a], r_v
+            bar.sync
+            mov.s32 r_u, 63
+            sub.s32 r_u, r_u, r_t
+            shl.s32 r_uo, r_u, 2
+            add.s32 r_ua, c_buf, r_uo
+            ld.global.f32 r_w, [r_ua]
+            add.s32 r_ra, c_res, r_o
+            st.global.f32 [r_ra], r_w
+            exit
+        """)
+        gpu = GPU(GPUConfig.tiny(), mem, jitter=JitterSource(1))
+        gpu.launch(Kernel("bar", prog, grid_dim=1, cta_dim=64,
+                          params={"c_buf": b, "c_res": b_out}))
+        gpu.run()
+        expect = np.arange(63, -1, -1, dtype=np.float32)
+        assert (mem.buffer("res") == expect).all()
+
+    def test_membar_completes(self):
+        mem = GlobalMemory()
+        b = mem.alloc("x", 1, "f32")
+        prog = assemble("""
+            mov.f32 r_v, 1.0
+            red.global.add.f32 [c_x], r_v
+            membar.gl
+            exit
+        """)
+        gpu = GPU(GPUConfig.tiny(), mem, jitter=JitterSource(1))
+        gpu.launch(Kernel("fence", prog, grid_dim=1, cta_dim=32,
+                          params={"c_x": b}))
+        gpu.run()
+        assert mem.buffer("x")[0] == np.float32(32.0)
+
+    def test_membar_under_dab_flushes(self):
+        mem = GlobalMemory()
+        b = mem.alloc("x", 1, "f32")
+        prog = assemble("""
+            mov.f32 r_v, 1.0
+            red.global.add.f32 [c_x], r_v
+            membar.gl
+            exit
+        """)
+        gpu = GPU(GPUConfig.tiny(), mem, dab=DABConfig.paper_default(),
+                  jitter=JitterSource(1))
+        gpu.launch(Kernel("fence", prog, grid_dim=1, cta_dim=32,
+                          params={"c_x": b}))
+        res = gpu.run()
+        assert mem.buffer("x")[0] == np.float32(32.0)
+        assert gpu.flush.stats.flushes >= 1
+
+    def test_max_cycles_guard(self):
+        mem = GlobalMemory()
+        b = mem.alloc("x", 1, "f32")
+        prog = assemble("""
+        LOOP:
+            ld.global.f32 r_v, [c_x]
+            setp.lt.f32 p_c, r_v, 1.0
+        @p_c bra LOOP
+            exit
+        """)
+        gpu = GPU(GPUConfig.tiny(), mem, jitter=JitterSource(1))
+        gpu.launch(Kernel("spin", prog, grid_dim=1, cta_dim=32,
+                          params={"c_x": b}))
+        with pytest.raises(SimulationError):
+            gpu.run(max_cycles=5000)
+
+    def test_atom_rejected_under_dab(self):
+        mem = GlobalMemory()
+        b = mem.alloc("x", 1, "s32")
+        prog = assemble("""
+            atom.global.add.s32 r_old, [c_x], 1
+            exit
+        """)
+        gpu = GPU(GPUConfig.tiny(), mem, dab=DABConfig.paper_default(),
+                  jitter=JitterSource(1))
+        gpu.launch(Kernel("atom", prog, grid_dim=1, cta_dim=32,
+                          params={"c_x": b}))
+        with pytest.raises(SimulationError):
+            gpu.run()
+
+    def test_dab_and_gpudet_mutually_exclusive(self):
+        from repro.gpudet.gpudet import GPUDetConfig
+
+        with pytest.raises(ValueError):
+            GPU(GPUConfig.tiny(), GlobalMemory(),
+                dab=DABConfig.paper_default(), gpudet=GPUDetConfig())
+
+    def test_ipc_reasonable(self):
+        res, _, _ = run_sum(n=1024, config=GPUConfig.small())
+        assert 0.01 < res.ipc < 32
+
+    def test_stats_populated(self):
+        res, _, _ = run_sum(n=256)
+        assert res.stalls.total > 0
+        assert res.icnt_packets > 0
+        assert res.mem_digest
+
+    def test_result_counts_conserved(self):
+        res, _, _ = run_sum(n=256)
+        # every issued slot shows up in the breakdown
+        assert res.stalls.issued == res.instructions
+
+
+class TestDABBasics:
+    def test_dab_result_matches_some_serial_order(self):
+        # With integer adds, any order gives the exact same result.
+        mem = GlobalMemory()
+        b = mem.alloc("x", 1, "s32")
+        prog = assemble("""
+            mov.s32 r_v, 1
+            red.global.add.s32 [c_x], r_v
+            exit
+        """)
+        gpu = GPU(GPUConfig.tiny(), mem, dab=DABConfig.paper_default(),
+                  jitter=JitterSource(1))
+        gpu.launch(Kernel("inc", prog, grid_dim=4, cta_dim=64,
+                          params={"c_x": b}))
+        gpu.run()
+        assert mem.buffer("x")[0] == 4 * 64
+
+    def test_dab_flush_on_kernel_drain(self):
+        res, value, data = run_sum(n=128, dab=DABConfig.paper_default())
+        assert value != 0.0
+
+    def test_every_scheduler_runs_sum(self):
+        for sched in ("srr", "gtrr", "gtar", "gwat"):
+            cfg = DABConfig(buffer_entries=32, scheduler=sched)
+            res, value, data = run_sum(n=256, dab=cfg)
+            ref = float(np.sum(data.astype(np.float64)))
+            assert value == pytest.approx(ref, rel=1e-2, abs=1e-2), sched
+
+    def test_warp_level_buffers_run(self):
+        res, value, data = run_sum(n=256, dab=DABConfig.warp_level())
+        ref = float(np.sum(data.astype(np.float64)))
+        assert value == pytest.approx(ref, rel=1e-2, abs=1e-2)
+
+    def test_buffer_smaller_than_warp_rejected(self):
+        # Paper IV-B: buffers need >= 32 entries (a full warp request);
+        # a smaller buffer could never accept one and would deadlock.
+        cfg = DABConfig(buffer_entries=8, scheduler="gwat")
+        with pytest.raises(ValueError):
+            run_sum(n=64, dab=cfg)
+
+    def test_relaxed_variants_run(self):
+        for cfg in (
+            DABConfig(relax_no_reorder=True),
+            DABConfig(relax_no_reorder=True, relax_overlap_flush=True),
+            DABConfig(relax_no_reorder=True, relax_overlap_flush=True,
+                      relax_cluster_flush=True),
+        ):
+            res, value, _ = run_sum(n=256, dab=cfg)
+            assert value != 0.0

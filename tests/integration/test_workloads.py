@@ -1,0 +1,222 @@
+"""Integration tests: the paper's workloads compute correct results on
+every architecture and stay deterministic under DAB/GPUDet."""
+
+import numpy as np
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.dab import DABConfig
+from repro.gpudet.gpudet import GPUDetConfig
+from repro.sim.gpu import GPU
+from repro.sim.nondet import JitterSource
+from repro.workloads.bc import bc_reference, build_bc
+from repro.workloads.convolution import (
+    CONV_LAYER_NAMES,
+    GATING_LAYERS,
+    RESNET_LAYERS,
+    build_conv,
+    conv_reference,
+)
+from repro.workloads.graphs import generate
+from repro.workloads.locks import LOCK_ALGORITHMS, build_lock_sum
+from repro.workloads.microbench import (
+    build_atomic_sum,
+    build_multi_target,
+    build_order_sensitive,
+)
+from repro.workloads.pagerank import build_pagerank, pagerank_reference
+
+
+def run(workload, config=None, dab=None, gpudet=None, seed=1):
+    gpu = GPU(config or GPUConfig.small(), workload.mem, dab=dab,
+              gpudet=gpudet, jitter=JitterSource(seed))
+    return workload.drive(gpu)
+
+
+class TestMicrobench:
+    def test_atomic_sum_reference(self):
+        wl = build_atomic_sum(n=512)
+        run(wl)
+        ref = wl.info["reference_f64"]
+        assert float(wl.mem.buffer("out")[0]) == pytest.approx(ref, rel=1e-3)
+
+    def test_multi_target_scatter(self):
+        wl = build_multi_target(n=1024, targets=32)
+        run(wl)
+        got = wl.mem.buffer("out").astype(np.float64)
+        assert np.allclose(got, wl.info["reference_f64"], rtol=1e-3)
+
+    def test_order_sensitive_is_sensitive(self):
+        from repro.fp.float32 import orderings_differ
+
+        wl = build_order_sensitive(n=256)
+        assert orderings_differ(list(wl.mem.buffer("in")), trials=64)
+
+    def test_output_digest_tracks_outputs_only(self):
+        wl = build_atomic_sum(n=64)
+        d0 = wl.output_digest()
+        wl.mem.buffer("in")[0] = 999.0  # inputs are not part of outputs
+        assert wl.output_digest() == d0
+        wl.mem.buffer("out")[0] = 1.0
+        assert wl.output_digest() != d0
+
+    def test_targets_validation(self):
+        with pytest.raises(ValueError):
+            build_multi_target(targets=0)
+
+
+class TestBC:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return generate("FA", scale=64, seed=5)
+
+    def test_bfs_depths_match_reference(self, graph):
+        wl = build_bc(graph)
+        run(wl)
+        d_ref, sigma_ref, delta_ref = bc_reference(graph)
+        assert np.array_equal(wl.mem.buffer("d"), d_ref)
+
+    def test_sigma_and_delta_match_reference(self, graph):
+        wl = build_bc(graph)
+        run(wl)
+        d_ref, sigma_ref, delta_ref = bc_reference(graph)
+        assert np.allclose(wl.mem.buffer("sigma"), sigma_ref, rtol=1e-3)
+        assert np.allclose(wl.mem.buffer("delta"), delta_ref,
+                           rtol=1e-2, atol=1e-4)
+
+    def test_bc_correct_under_dab(self, graph):
+        wl = build_bc(graph)
+        run(wl, dab=DABConfig.paper_default())
+        d_ref, sigma_ref, _ = bc_reference(graph)
+        assert np.array_equal(wl.mem.buffer("d"), d_ref)
+        assert np.allclose(wl.mem.buffer("sigma"), sigma_ref, rtol=1e-3)
+
+    def test_bc_correct_under_gpudet(self, graph):
+        wl = build_bc(graph)
+        run(wl, gpudet=GPUDetConfig())
+        d_ref, sigma_ref, _ = bc_reference(graph)
+        assert np.array_equal(wl.mem.buffer("d"), d_ref)
+        assert np.allclose(wl.mem.buffer("sigma"), sigma_ref, rtol=1e-3)
+
+    def test_bc_deterministic_across_seeds(self, graph):
+        digests = set()
+        for seed in (1, 2, 3):
+            wl = build_bc(graph)
+            run(wl, dab=DABConfig.paper_default(), seed=seed)
+            digests.add(wl.output_digest())
+        assert len(digests) == 1
+
+    def test_bc_runs_many_kernels(self, graph):
+        wl = build_bc(graph)
+        res = run(wl)
+        assert res.kernels > 2  # one forward kernel per BFS level + backward
+
+    def test_atomics_pki_positive(self, graph):
+        wl = build_bc(graph)
+        res = run(wl)
+        assert res.atomics_per_kilo_instr > 1
+
+
+class TestPageRank:
+    def test_matches_reference(self):
+        g = generate("coA", scale=2048, seed=5)
+        wl = build_pagerank(g, iterations=2)
+        run(wl)
+        ref = pagerank_reference(g, 2)
+        got = wl.mem.buffer(wl.info["final_buffer"]).astype(np.float64)
+        assert np.allclose(got, ref, rtol=1e-3)
+
+    def test_rank_is_probabilityish(self):
+        g = generate("coA", scale=2048, seed=5)
+        wl = build_pagerank(g, iterations=3)
+        run(wl)
+        got = wl.mem.buffer(wl.info["final_buffer"]).astype(np.float64)
+        # mass is conserved up to sink leakage
+        assert 0.2 < got.sum() <= 1.01
+
+    def test_deterministic_under_dab(self):
+        g = generate("coA", scale=2048, seed=5)
+        digests = set()
+        for seed in (1, 2, 3):
+            wl = build_pagerank(g, iterations=2)
+            run(wl, dab=DABConfig.paper_default(), seed=seed)
+            digests.add(wl.output_digest())
+        assert len(digests) == 1
+
+    def test_has_highest_atomics_pki(self):
+        # Table II: PageRank has by far the highest atomics PKI.
+        g = generate("coA", scale=2048, seed=5)
+        prk = run(build_pagerank(g, iterations=2))
+        bcg = generate("FA", scale=64, seed=5)
+        bc = run(build_bc(bcg))
+        assert prk.atomics_per_kilo_instr > bc.atomics_per_kilo_instr
+
+
+class TestConvolution:
+    @pytest.mark.parametrize("layer", ["cnv2_1", "cnv2_2", "cnv3_3"])
+    def test_matches_reference(self, layer):
+        wl = build_conv(layer)
+        run(wl)
+        got = wl.mem.buffer("dw").astype(np.float64)
+        assert np.allclose(got, wl.info["reference_f64"], rtol=1e-3, atol=1e-4)
+
+    @pytest.mark.parametrize("layer", ["cnv2_1", "cnv2_2"])
+    def test_matches_reference_under_dab(self, layer):
+        wl = build_conv(layer)
+        run(wl, dab=DABConfig.paper_default())
+        got = wl.mem.buffer("dw").astype(np.float64)
+        assert np.allclose(got, wl.info["reference_f64"], rtol=1e-3, atol=1e-4)
+
+    def test_all_layers_build(self):
+        for name in CONV_LAYER_NAMES:
+            wl = build_conv(name)
+            assert wl.kernels[0].grid_dim == RESNET_LAYERS[name].grid_dim
+
+    def test_gating_layers_have_four_warps_per_cta(self):
+        for name, cfg in GATING_LAYERS.items():
+            assert cfg.cta_dim == 128
+            assert cfg.felems_per_region == 128
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(ValueError):
+            build_conv("cnv9_9")
+
+    def test_region_alignment_invariant(self):
+        for cfg in RESNET_LAYERS.values():
+            assert cfg.filter_elems % cfg.regions == 0
+
+    def test_deterministic_under_dab(self):
+        digests = set()
+        for seed in (1, 2, 3):
+            wl = build_conv("cnv2_2")
+            run(wl, dab=DABConfig.paper_default(), seed=seed)
+            digests.add(wl.output_digest())
+        assert len(digests) == 1
+
+
+class TestLocks:
+    @pytest.mark.parametrize("alg", LOCK_ALGORITHMS)
+    def test_lock_sum_exact_ticket_order(self, alg):
+        wl = build_lock_sum(alg, n=64)
+        run(wl, config=GPUConfig.tiny())
+        assert float(wl.mem.buffer("out")[0]) == wl.info["reference_f32"]
+
+    @pytest.mark.parametrize("alg", LOCK_ALGORITHMS)
+    def test_lock_sum_deterministic_on_baseline(self, alg):
+        vals = set()
+        for seed in (1, 2):
+            wl = build_lock_sum(alg, n=64)
+            run(wl, config=GPUConfig.tiny(), seed=seed)
+            vals.add(float(wl.mem.buffer("out")[0]))
+        assert len(vals) == 1
+
+    def test_locks_far_slower_than_atomic_add(self):
+        base = build_atomic_sum(n=64)
+        base_res = run(base, config=GPUConfig.tiny())
+        lock = build_lock_sum("tts", n=64)
+        lock_res = run(lock, config=GPUConfig.tiny())
+        assert lock_res.cycles > 5 * base_res.cycles
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            build_lock_sum("mutex")

@@ -1,0 +1,143 @@
+"""Property-based tests for SIMT execution and end-to-end determinism."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.isa import assemble
+from repro.arch.kernel import CTA, Kernel
+from repro.arch.warp import Warp
+from repro.config import GPUConfig
+from repro.core.dab import DABConfig
+from repro.memory.globalmem import GlobalMemory
+from repro.sim.gpu import GPU
+from repro.sim.nondet import JitterSource
+
+
+def fresh_warp(prog_text, cta_dim=32, params=None):
+    prog = assemble(prog_text)
+    kernel = Kernel("p", prog, grid_dim=1, cta_dim=cta_dim,
+                    params=params or {})
+    return Warp(uid=1, cta=CTA(kernel=kernel, cta_id=0), warp_id_in_cta=0,
+                warp_size=32)
+
+
+def run_warp(warp, mem=None, limit=100000):
+    mem = mem or GlobalMemory()
+    steps = 0
+    while not warp.done:
+        warp.step(mem)
+        steps += 1
+        assert steps < limit, "warp did not terminate"
+    return warp
+
+
+class TestSIMTProperties:
+    @given(st.lists(st.integers(1, 12), min_size=1, max_size=32))
+    @settings(max_examples=30, deadline=None)
+    def test_divergent_loop_counts_per_lane(self, counts):
+        """Each lane loops its own number of times; the counter register
+        must end exactly at each lane's count — whatever the divergence
+        pattern."""
+        n = len(counts)
+        mem = GlobalMemory()
+        base = mem.alloc("cnt", max(n, 1), "s32", init=np.array(counts))
+        w = fresh_warp("""
+            mov.s32 r_i, 0
+            mov.s32 r_t, %tid
+            shl.s32 r_o, r_t, 2
+            add.s32 r_a, c_cnt, r_o
+            ld.global.s32 r_n, [r_a]
+        LOOP:
+            add.s32 r_i, r_i, 1
+            setp.lt.s32 p_c, r_i, r_n
+        @p_c bra LOOP
+            exit
+        """, cta_dim=n, params={"c_cnt": base})
+        run_warp(w, mem)
+        got = w.regs["r_i"][:n]
+        assert list(got) == counts
+
+    @given(st.integers(1, 32), st.integers(0, 31))
+    @settings(max_examples=30, deadline=None)
+    def test_nested_predication(self, cta_dim, pivot):
+        """Lanes below the pivot take one path, others the other; both
+        must write their branch's value exactly once."""
+        w = fresh_warp(f"""
+            mov.s32 r_t, %tid
+            setp.lt.s32 p_lo, r_t, {pivot}
+        @p_lo bra LO
+            mov.s32 r_v, 200
+            bra JOIN
+        LO:
+            mov.s32 r_v, 100
+        JOIN:
+            exit
+        """, cta_dim=cta_dim)
+        run_warp(w)
+        v = w.regs.get("r_v")
+        if v is None:
+            assert pivot == 0 and cta_dim == 0
+            return
+        active = min(cta_dim, 32)
+        for lane in range(active):
+            assert v[lane] == (100 if lane < pivot else 200)
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=32))
+    @settings(max_examples=30, deadline=None)
+    def test_alu_matches_numpy(self, vals):
+        n = len(vals)
+        mem = GlobalMemory()
+        base = mem.alloc("v", n, "s32", init=np.array(vals))
+        out = mem.alloc("o", n, "s32")
+        w = fresh_warp("""
+            mov.s32 r_t, %tid
+            shl.s32 r_o, r_t, 2
+            add.s32 r_a, c_v, r_o
+            ld.global.s32 r_x, [r_a]
+            mul.s32 r_y, r_x, 3
+            add.s32 r_y, r_y, 7
+            min.s32 r_y, r_y, 100
+            max.s32 r_y, r_y, -100
+            add.s32 r_b, c_o, r_o
+            st.global.s32 [r_b], r_y
+            exit
+        """, cta_dim=n, params={"c_v": base, "c_o": out})
+        run_warp(w, mem)
+        expect = np.clip(np.array(vals) * 3 + 7, -100, 100)
+        assert (mem.buffer("o") == expect).all()
+
+
+class TestEndToEndDeterminismProperty:
+    @given(st.integers(0, 10_000), st.integers(2, 64))
+    @settings(max_examples=8, deadline=None)
+    def test_dab_digest_stable_for_random_workloads(self, data_seed, targets):
+        """For arbitrary reduction workloads, DAB output is invariant to
+        jitter seed."""
+        from repro.workloads.microbench import build_multi_target
+
+        digests = set()
+        for jitter_seed in (11, 47):
+            wl = build_multi_target(n=1024, targets=targets, seed=data_seed)
+            gpu = GPU(GPUConfig.tiny(), wl.mem, dab=DABConfig.paper_default(),
+                      jitter=JitterSource(jitter_seed, dram_max=48,
+                                          icnt_max=24))
+            wl.drive(gpu)
+            digests.add(wl.output_digest())
+        assert len(digests) == 1
+
+    @given(st.sampled_from(["srr", "gtrr", "gtar", "gwat"]),
+           st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_every_scheduler_stable_for_random_data(self, sched, data_seed):
+        from repro.workloads.microbench import build_order_sensitive
+
+        digests = set()
+        for jitter_seed in (3, 91):
+            wl = build_order_sensitive(n=256, seed=data_seed)
+            gpu = GPU(GPUConfig.tiny(), wl.mem,
+                      dab=DABConfig(buffer_entries=64, scheduler=sched),
+                      jitter=JitterSource(jitter_seed, dram_max=48,
+                                          icnt_max=24))
+            wl.drive(gpu)
+            digests.add(wl.output_digest())
+        assert len(digests) == 1

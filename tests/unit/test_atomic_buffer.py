@@ -1,0 +1,167 @@
+"""Unit tests for DAB atomic buffers: fusion, full bit, drain, coalescing."""
+
+import numpy as np
+import pytest
+
+from repro.core.atomic_buffer import (
+    ENTRY_BYTES,
+    AtomicBuffer,
+    buffer_area_bytes,
+)
+from repro.memory.globalmem import AtomicOp
+
+
+def ops(*pairs, opcode="add.f32"):
+    return [AtomicOp(addr, opcode, (val,)) for addr, val in pairs]
+
+
+class TestInsertion:
+    def test_insert_and_occupancy(self):
+        b = AtomicBuffer(4)
+        b.insert(ops((0x1000, 1.0), (0x1004, 2.0)))
+        assert b.occupancy == 2
+        assert b.non_empty and not b.full
+
+    def test_capacity_respected(self):
+        b = AtomicBuffer(2)
+        assert b.can_accept(ops((0, 1.0), (4, 1.0)))
+        assert not b.can_accept(ops((0, 1.0), (4, 1.0), (8, 1.0)))
+
+    def test_insert_without_space_raises(self):
+        b = AtomicBuffer(1)
+        with pytest.raises(RuntimeError):
+            b.insert(ops((0, 1.0), (4, 1.0)))
+
+    def test_mark_full_is_sticky(self):
+        b = AtomicBuffer(4)
+        b.mark_full()
+        assert b.full
+        assert not b.can_accept(ops((0, 1.0)))
+        assert b.stats.reject_full == 1
+
+    def test_drain_clears_full(self):
+        b = AtomicBuffer(2)
+        b.insert(ops((0, 1.0)))
+        b.mark_full()
+        b.drain(coalesce=False)
+        assert not b.full and not b.non_empty
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            AtomicBuffer(0)
+
+
+class TestFusion:
+    def test_same_address_fuses(self):
+        b = AtomicBuffer(4, fusion=True)
+        b.insert(ops((0x1000, 2.25)))
+        b.insert(ops((0x1000, 4.5)))
+        assert b.occupancy == 1
+        entry = b.peek_entries()[0]
+        assert entry.value == np.float32(6.75)
+        assert entry.fused_count == 2
+        assert b.stats.fused == 1
+
+    def test_fusion_respects_opcode(self):
+        b = AtomicBuffer(4, fusion=True)
+        b.insert([AtomicOp(0x1000, "add.f32", (1.0,))])
+        b.insert([AtomicOp(0x1000, "max.f32", (9.0,))])
+        assert b.occupancy == 2
+
+    def test_fusion_off_never_merges(self):
+        b = AtomicBuffer(4, fusion=False)
+        b.insert(ops((0x1000, 1.0)))
+        b.insert(ops((0x1000, 1.0)))
+        assert b.occupancy == 2
+
+    def test_slots_needed_with_fusion(self):
+        b = AtomicBuffer(4, fusion=True)
+        b.insert(ops((0x1000, 1.0)))
+        req = ops((0x1000, 1.0), (0x1000, 2.0), (0x2000, 3.0))
+        assert b.slots_needed(req) == 1  # both 0x1000 fuse (one existing)
+
+    def test_fusion_within_one_request(self):
+        b = AtomicBuffer(1, fusion=True)
+        req = ops((0x1000, 1.0), (0x1000, 2.0))
+        assert b.can_accept(req)
+        b.insert(req)
+        assert b.occupancy == 1
+        assert b.peek_entries()[0].value == np.float32(3.0)
+
+    def test_int_fusion_exact(self):
+        b = AtomicBuffer(2, fusion=True)
+        b.insert([AtomicOp(0, "add.s32", (3,))])
+        b.insert([AtomicOp(0, "add.s32", (4,))])
+        assert b.peek_entries()[0].value == 7
+
+    def test_min_max_fusion(self):
+        b = AtomicBuffer(2, fusion=True)
+        b.insert([AtomicOp(0, "min.s32", (3,))])
+        b.insert([AtomicOp(0, "min.s32", (1,))])
+        assert b.peek_entries()[0].value == 1
+        b2 = AtomicBuffer(2, fusion=True)
+        b2.insert([AtomicOp(0, "max.s32", (3,))])
+        b2.insert([AtomicOp(0, "max.s32", (7,))])
+        assert b2.peek_entries()[0].value == 7
+
+    def test_fusion_order_is_insertion_order(self):
+        # f32 fusion accumulates left-to-right: deterministic.
+        vals = [float(2 ** 24), 1.0, -float(2 ** 24 - 1)]
+        b = AtomicBuffer(1, fusion=True)
+        for v in vals:
+            b.insert([AtomicOp(0, "add.f32", (v,))])
+        acc = np.float32(0.0)
+        for v in vals:
+            acc = np.float32(acc + np.float32(v))
+        assert b.peek_entries()[0].value == acc
+
+
+class TestDrain:
+    def test_drain_preserves_order(self):
+        b = AtomicBuffer(4)
+        b.insert(ops((0x100, 1.0), (0x200, 2.0), (0x300, 3.0)))
+        txns = b.drain(coalesce=False)
+        assert [t.ops[0].addr for t in txns] == [0x100, 0x200, 0x300]
+        assert all(len(t.ops) == 1 for t in txns)
+
+    def test_coalescing_groups_sector_runs(self):
+        b = AtomicBuffer(8)
+        # two entries in sector 0x100-0x11f, one in 0x120-...
+        b.insert(ops((0x100, 1.0), (0x104, 2.0), (0x120, 3.0), (0x108, 4.0)))
+        txns = b.drain(coalesce=True)
+        assert [len(t.ops) for t in txns] == [2, 1, 1]
+        assert txns[0].sector == 0x100
+
+    def test_coalesced_payload_bytes(self):
+        b = AtomicBuffer(4)
+        b.insert(ops((0x100, 1.0), (0x104, 2.0)))
+        txn = b.drain(coalesce=True)[0]
+        assert txn.payload_bytes == 2 * ENTRY_BYTES
+
+    def test_drain_empties(self):
+        b = AtomicBuffer(4)
+        b.insert(ops((0x100, 1.0)))
+        b.drain(coalesce=False)
+        assert b.occupancy == 0
+        assert b.stats.flushed_entries == 1
+
+    def test_drain_empty_buffer(self):
+        b = AtomicBuffer(4)
+        assert b.drain(coalesce=True) == []
+
+
+class TestAreaModel:
+    def test_entry_bytes_match_paper(self):
+        # 5B address + 4B argument + 1B opcode/valid = 9B (Section IV-B)
+        assert ENTRY_BYTES == 9
+
+    def test_warp_level_area_is_about_20kb(self):
+        # Paper: 32 entries x 64 warps x 9B ~= 20 KB per SM.
+        area = buffer_area_bytes(64, 32)
+        assert area == 64 * 32 * 9
+        assert 18 * 1024 <= area <= 20 * 1024
+
+    def test_scheduler_level_reduction_16x(self):
+        warp = buffer_area_bytes(64, 32)
+        sched = buffer_area_bytes(4, 32)
+        assert warp // sched == 16

@@ -1,0 +1,129 @@
+"""Unit tests for repro.fp: binary32 helpers and the Fig 1 toy format."""
+
+import numpy as np
+import pytest
+
+from repro.fp.decimal_toy import DecimalFloat, figure1_example, toy_reduce
+from repro.fp.float32 import (
+    f32,
+    f32_add,
+    f32_fma,
+    f32_mul,
+    f32_sum,
+    orderings_differ,
+    pairwise_f32_sum,
+)
+
+
+class TestF32Basics:
+    def test_add_rounds_to_binary32(self):
+        # 1 + 2^-25 rounds back to 1 in binary32.
+        assert f32_add(1.0, 2.0 ** -25) == np.float32(1.0)
+
+    def test_add_type(self):
+        assert isinstance(f32_add(1.5, 2.5), np.float32)
+
+    def test_mul_rounds(self):
+        a = np.float32(1.0000001)
+        assert f32_mul(a, a) == np.float32(float(a) * float(a))
+
+    def test_fma_single_rounding_differs_from_two_step(self):
+        # Classic case where fused differs from mul-then-add.
+        a = np.float32(1.0000001)
+        b = np.float32(1.0000001)
+        c = -np.float32(float(a) * float(b))  # not exactly -a*b in f32
+        fused = f32_fma(a, b, c)
+        two_step = f32_add(f32_mul(a, b), c)
+        assert fused != two_step
+
+    def test_non_associativity_example(self):
+        # 2**24 is the last exactly-representable odd-unit integer:
+        # (2**24 + 1) rounds to 2**24, but 2**24 - (2**24 - 1) is exact.
+        a, b, c = float(2 ** 24), 1.0, -float(2 ** 24 - 1)
+        left = f32_add(f32_add(a, b), c)     # (a+b) rounds -> 1.0
+        right = f32_add(a, f32_add(b, c))    # exact -> 2.0
+        assert left != right
+
+    def test_f32_is_idempotent(self):
+        assert f32(f32(1.25)) == np.float32(1.25)
+
+
+class TestF32Sum:
+    def test_empty(self):
+        assert f32_sum([]) == np.float32(0.0)
+
+    def test_matches_manual_chain(self):
+        vals = [3.25, -1.5, 0.125]
+        acc = np.float32(0.0)
+        for v in vals:
+            acc = np.float32(acc + np.float32(v))
+        assert f32_sum(vals) == acc
+
+    def test_order_permutation(self):
+        vals = [float(2 ** 24), 1.0, -float(2 ** 24 - 1)]
+        assert f32_sum(vals, order=[0, 1, 2]) != f32_sum(vals, order=[1, 2, 0])
+
+    def test_order_must_be_permutation(self):
+        with pytest.raises(ValueError):
+            f32_sum([1.0, 2.0], order=[0, 0])
+
+    def test_pairwise_empty(self):
+        assert pairwise_f32_sum([]) == np.float32(0.0)
+
+    def test_pairwise_single(self):
+        assert pairwise_f32_sum([2.5]) == np.float32(2.5)
+
+    def test_pairwise_exact_for_exact_values(self):
+        vals = [1.0, 2.0, 3.0, 4.0]
+        assert pairwise_f32_sum(vals) == np.float32(10.0)
+
+    def test_orderings_differ_detects_sensitivity(self):
+        rng = np.random.default_rng(0)
+        vals = (rng.standard_normal(64) * 10.0 ** rng.integers(-4, 5, 64)).tolist()
+        assert orderings_differ(vals, trials=128)
+
+    def test_orderings_differ_false_for_exact(self):
+        assert not orderings_differ([1.0, 2.0, 4.0, 8.0], trials=32)
+
+
+class TestDecimalToy:
+    def test_three_digit_rounding_up(self):
+        x = DecimalFloat("1.00") + DecimalFloat("0.001")
+        # 1.001 -> 3 significant digits, rounded up (away from zero).
+        assert str(x.value) == "1.01"
+
+    def test_figure1_left_ordering(self):
+        assert toy_reduce(["1.00", "0.555", "-0.555"]) == DecimalFloat("1.01")
+
+    def test_figure1_right_ordering(self):
+        assert toy_reduce(["1.00", "0.555", "-0.555"], order=[1, 2, 0]) == DecimalFloat("1.00")
+
+    def test_figure1_example_differs(self):
+        ex = figure1_example()
+        assert ex["(a+b)+c"] == "1.01"
+        assert ex["(b+c)+a"] == "1.00"
+        assert ex["differ"]
+
+    def test_precision_mixing_rejected(self):
+        with pytest.raises(ValueError):
+            DecimalFloat("1.0", 3) + DecimalFloat("1.0", 4)
+
+    def test_empty_reduce_rejected(self):
+        with pytest.raises(ValueError):
+            toy_reduce([])
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            toy_reduce(["1", "2"], order=[1, 1])
+
+    def test_digits_validation(self):
+        with pytest.raises(ValueError):
+            DecimalFloat("1.0", 0)
+
+    def test_equality_with_plain_number(self):
+        assert DecimalFloat("2.00") == 2
+
+    def test_repr_and_str(self):
+        d = DecimalFloat("1.25")
+        assert "1.25" in repr(d)
+        assert str(d) == "1.25"

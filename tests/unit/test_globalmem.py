@@ -1,0 +1,154 @@
+"""Unit tests for functional global memory and atomic semantics."""
+
+import numpy as np
+import pytest
+
+from repro.memory.globalmem import AtomicOp, GlobalMemory
+
+
+@pytest.fixture
+def mem():
+    return GlobalMemory()
+
+
+class TestAllocation:
+    def test_alloc_returns_aligned_base(self, mem):
+        base = mem.alloc("a", 10)
+        assert base % 128 == 0
+
+    def test_buffers_do_not_overlap(self, mem):
+        a = mem.alloc("a", 100)
+        b = mem.alloc("b", 100)
+        assert b >= a + 100 * 4
+
+    def test_duplicate_name_rejected(self, mem):
+        mem.alloc("a", 4)
+        with pytest.raises(ValueError):
+            mem.alloc("a", 4)
+
+    def test_zero_size_rejected(self, mem):
+        with pytest.raises(ValueError):
+            mem.alloc("a", 0)
+
+    def test_bad_dtype_rejected(self, mem):
+        with pytest.raises(ValueError):
+            mem.alloc("a", 4, dtype="f64")
+
+    def test_init_values(self, mem):
+        mem.alloc("a", 3, "f32", init=[1.0, 2.0, 3.0])
+        assert list(mem.buffer("a")) == [1.0, 2.0, 3.0]
+
+    def test_init_shape_mismatch(self, mem):
+        with pytest.raises(ValueError):
+            mem.alloc("a", 3, init=[1.0])
+
+    def test_base_of(self, mem):
+        base = mem.alloc("a", 4)
+        assert mem.base_of("a") == base
+
+
+class TestAccess:
+    def test_store_load_roundtrip(self, mem):
+        base = mem.alloc("a", 4, "f32")
+        mem.store(base + 8, 2.5)
+        assert mem.load(base + 8) == np.float32(2.5)
+
+    def test_unaligned_rejected(self, mem):
+        base = mem.alloc("a", 4)
+        with pytest.raises(ValueError):
+            mem.load(base + 2)
+
+    def test_out_of_bounds_rejected(self, mem):
+        base = mem.alloc("a", 4)
+        with pytest.raises(ValueError):
+            mem.load(base + 16 + 128 * 4)
+
+    def test_below_heap_rejected(self, mem):
+        mem.alloc("a", 4)
+        with pytest.raises(ValueError):
+            mem.load(0)
+
+    def test_vector_access(self, mem):
+        base = mem.alloc("a", 4, "s32", init=[10, 20, 30, 40])
+        addrs = np.array([base, base + 8])
+        assert list(mem.load_many(addrs)) == [10, 30]
+        mem.store_many(addrs, np.array([1, 2]))
+        assert mem.buffer("a")[0] == 1 and mem.buffer("a")[2] == 2
+
+
+class TestAtomics:
+    def test_add_f32_rounds(self, mem):
+        base = mem.alloc("a", 1, "f32", init=[float(2 ** 24)])
+        old = mem.apply_atomic(AtomicOp(base, "add.f32", (1.0,)))
+        assert old == np.float32(2 ** 24)
+        # 2**24 + 1 is not representable: rounds back down.
+        assert mem.buffer("a")[0] == np.float32(2 ** 24)
+
+    def test_add_s32(self, mem):
+        base = mem.alloc("a", 1, "s32", init=[5])
+        mem.apply_atomic(AtomicOp(base, "add.s32", (3,)))
+        assert mem.buffer("a")[0] == 8
+
+    def test_min_max(self, mem):
+        base = mem.alloc("a", 1, "s32", init=[5])
+        mem.apply_atomic(AtomicOp(base, "min.s32", (3,)))
+        assert mem.buffer("a")[0] == 3
+        mem.apply_atomic(AtomicOp(base, "max.s32", (7,)))
+        assert mem.buffer("a")[0] == 7
+
+    def test_exch_returns_old(self, mem):
+        base = mem.alloc("a", 1, "s32", init=[9])
+        old = mem.apply_atomic(AtomicOp(base, "exch.s32", (1,)))
+        assert old == 9
+        assert mem.buffer("a")[0] == 1
+
+    def test_cas_success_and_failure(self, mem):
+        base = mem.alloc("a", 1, "s32", init=[0])
+        old = mem.apply_atomic(AtomicOp(base, "cas.s32", (0, 42)))
+        assert old == 0 and mem.buffer("a")[0] == 42
+        old = mem.apply_atomic(AtomicOp(base, "cas.s32", (0, 99)))
+        assert old == 42 and mem.buffer("a")[0] == 42
+
+    def test_inc(self, mem):
+        base = mem.alloc("a", 1, "s32")
+        mem.apply_atomic(AtomicOp(base, "inc.s32", (1,)))
+        assert mem.buffer("a")[0] == 1
+
+    def test_unknown_op_rejected(self, mem):
+        base = mem.alloc("a", 1, "s32")
+        with pytest.raises(ValueError):
+            mem.apply_atomic(AtomicOp(base, "frob.s32", (1,)))
+
+    def test_order_changes_f32_result(self, mem):
+        base = mem.alloc("a", 1, "f32")
+        vals = [float(2 ** 24), 1.0, -float(2 ** 24 - 1)]
+        for v in vals:
+            mem.apply_atomic(AtomicOp(base, "add.f32", (v,)))
+        left = mem.buffer("a")[0]
+        mem.buffer("a")[0] = 0.0
+        for v in [vals[1], vals[2], vals[0]]:
+            mem.apply_atomic(AtomicOp(base, "add.f32", (v,)))
+        assert mem.buffer("a")[0] != left
+
+    def test_is_reduction_property(self):
+        assert AtomicOp(0, "add.f32", (1.0,)).is_reduction
+        assert not AtomicOp(0, "exch.s32", (1,)).is_reduction
+
+
+class TestDigest:
+    def test_digest_changes_with_content(self, mem):
+        base = mem.alloc("a", 4)
+        d1 = mem.snapshot_digest()
+        mem.store(base, 1.0)
+        assert mem.snapshot_digest() != d1
+
+    def test_digest_subset(self, mem):
+        a = mem.alloc("a", 4)
+        mem.alloc("b", 4)
+        d1 = mem.snapshot_digest(["a"])
+        mem.buffer("b")[0] = 5
+        assert mem.snapshot_digest(["a"]) == d1
+
+    def test_digest_stable(self, mem):
+        mem.alloc("a", 4, init=[1, 2, 3, 4])
+        assert mem.snapshot_digest() == mem.snapshot_digest()

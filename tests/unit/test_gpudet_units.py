@@ -1,0 +1,43 @@
+"""Unit tests for GPUDet components: store-buffer view, config."""
+
+import numpy as np
+import pytest
+
+from repro.gpudet.gpudet import GPUDetConfig, StoreBufferView
+from repro.memory.globalmem import GlobalMemory
+from repro.memory.store_buffer import StoreBuffer
+
+
+class TestStoreBufferView:
+    def setup_method(self):
+        self.mem = GlobalMemory()
+        self.base = self.mem.alloc("a", 8, "f32",
+                                   init=np.arange(8, dtype=np.float32))
+        self.sb = StoreBuffer()
+        self.view = StoreBufferView(self.mem, self.sb)
+
+    def test_load_falls_through_to_memory(self):
+        out = self.view.load_many(np.array([self.base, self.base + 4]))
+        assert list(out) == [0.0, 1.0]
+
+    def test_store_is_isolated_from_memory(self):
+        self.view.store_many(np.array([self.base]), np.array([99.0]))
+        assert self.mem.buffer("a")[0] == 0.0  # memory untouched
+        assert self.sb.load(self.base) == 99.0
+
+    def test_load_sees_own_buffered_store(self):
+        self.view.store_many(np.array([self.base]), np.array([99.0]))
+        out = self.view.load_many(np.array([self.base, self.base + 4]))
+        assert list(out) == [99.0, 1.0]
+
+    def test_drain_then_visible(self):
+        self.view.store_many(np.array([self.base + 8]), np.array([7.0]))
+        for addr, value in self.sb.drain():
+            self.mem.store(addr, value)
+        assert self.mem.buffer("a")[2] == np.float32(7.0)
+
+    def test_config_defaults(self):
+        cfg = GPUDetConfig()
+        assert cfg.quantum_instrs == 200
+        assert cfg.serial_issue_gap >= 1
+        assert cfg.serial_round_trip > 0

@@ -1,0 +1,124 @@
+"""Unit tests for the SIMT reconvergence stack."""
+
+import numpy as np
+import pytest
+
+from repro.arch.simt_stack import SIMTStack
+
+
+def full_mask(n=8, active=None):
+    m = np.zeros(n, dtype=bool)
+    m[: (active if active is not None else n)] = True
+    return m
+
+
+class TestBasics:
+    def test_initial_state(self):
+        st = SIMTStack(8, 0, full_mask())
+        assert st.pc == 0
+        assert st.active_mask.all()
+        assert st.depth == 1
+        assert not st.done
+
+    def test_mask_shape_validated(self):
+        with pytest.raises(ValueError):
+            SIMTStack(8, 0, np.ones(4, dtype=bool))
+
+    def test_advance(self):
+        st = SIMTStack(8, 0, full_mask())
+        st.advance()
+        assert st.pc == 1
+
+    def test_jump(self):
+        st = SIMTStack(8, 0, full_mask())
+        st.jump(5)
+        assert st.pc == 5
+
+
+class TestBranching:
+    def test_uniform_taken(self):
+        st = SIMTStack(8, 0, full_mask())
+        st.branch(full_mask(), target_pc=10, reconv_pc=20)
+        assert st.pc == 10
+        assert st.depth == 1
+
+    def test_uniform_not_taken(self):
+        st = SIMTStack(8, 0, full_mask())
+        st.branch(np.zeros(8, dtype=bool), target_pc=10, reconv_pc=20)
+        assert st.pc == 1
+        assert st.depth == 1
+
+    def test_divergence_taken_first(self):
+        st = SIMTStack(8, 0, full_mask())
+        taken = full_mask(active=4)
+        st.branch(taken, target_pc=10, reconv_pc=20)
+        # Taken side executes first.
+        assert st.pc == 10
+        assert st.active_mask.sum() == 4
+        assert st.depth == 3
+
+    def test_reconvergence_merges_sides(self):
+        st = SIMTStack(8, 0, full_mask())
+        taken = full_mask(active=4)
+        st.branch(taken, target_pc=10, reconv_pc=12)
+        # taken side runs to the reconvergence point
+        st.jump(12)
+        # now the not-taken side
+        assert st.pc == 1
+        assert st.active_mask.sum() == 4
+        st.jump(12)
+        # both sides done: full mask at reconvergence
+        assert st.pc == 12
+        assert st.active_mask.sum() == 8
+        assert st.depth == 1
+
+    def test_taken_mask_restricted_to_active(self):
+        st = SIMTStack(8, 0, full_mask(active=4))
+        st.branch(full_mask(), target_pc=10, reconv_pc=20)
+        assert st.active_mask.sum() == 4  # inactive lanes stay inactive
+
+    def test_loop_divergence_terminates(self):
+        # Simulated loop at pc 0..2 where lanes exit one at a time.
+        n = 4
+        st = SIMTStack(n, 0, full_mask(n))
+        remaining = n
+        for it in range(n):
+            # loop body: pc 0 -> 1
+            st.advance()
+            # branch at pc 1: lanes with id > it loop back to 0, reconv 2
+            lane_ids = np.arange(n)
+            taken = np.logical_and(st.active_mask, lane_ids > it)
+            st.branch(taken, target_pc=0, reconv_pc=2)
+            if taken.any():
+                assert st.pc == 0
+        assert st.pc == 2
+        assert st.active_mask.sum() == n
+        assert st.depth == 1
+
+
+class TestExit:
+    def test_full_exit_empties_stack(self):
+        st = SIMTStack(8, 0, full_mask())
+        st.exit_lanes()
+        assert st.done
+
+    def test_partial_exit_keeps_rest(self):
+        st = SIMTStack(8, 0, full_mask())
+        m = np.zeros(8, dtype=bool)
+        m[0] = True
+        st.exit_lanes(m)
+        assert not st.done
+        assert st.active_mask.sum() == 7
+
+    def test_exit_during_divergence(self):
+        st = SIMTStack(8, 0, full_mask())
+        st.branch(full_mask(active=4), target_pc=10, reconv_pc=20)
+        st.exit_lanes()  # taken side exits entirely
+        # not-taken side becomes active
+        assert st.pc == 1
+        assert st.active_mask.sum() == 4
+
+    def test_snapshot_hashable(self):
+        st = SIMTStack(8, 0, full_mask())
+        snap = st.snapshot()
+        assert isinstance(hash(snap), int)

@@ -1,0 +1,98 @@
+"""Unit tests for workload builders (structure only, no simulation)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import Workload
+from repro.workloads.bc import build_bc
+from repro.workloads.convolution import RESNET_LAYERS, build_conv
+from repro.workloads.graphs import generate
+from repro.workloads.locks import build_lock_sum
+from repro.workloads.microbench import (
+    build_atomic_sum,
+    build_histogram,
+    build_multi_target,
+    build_order_sensitive,
+)
+from repro.workloads.pagerank import build_pagerank
+from repro.workloads.sssp import INF, build_sssp, sssp_reference
+
+
+class TestBuilders:
+    def test_atomic_sum_structure(self):
+        wl = build_atomic_sum(n=100, cta_dim=32)
+        assert wl.kernels[0].grid_dim == 4  # ceil(100/32)
+        assert wl.outputs == ["out"]
+        assert len(wl.mem.buffer("in")) == 100
+
+    def test_order_sensitive_values_span_binades(self):
+        wl = build_order_sensitive(n=256)
+        mags = np.abs(wl.mem.buffer("in"))
+        assert mags.max() / mags.min() > 100
+
+    def test_multi_target_reference_shape(self):
+        wl = build_multi_target(n=128, targets=8)
+        assert len(wl.info["reference_f64"]) == 8
+
+    def test_histogram_reference_counts(self):
+        wl = build_histogram(n=500, bins=10)
+        assert wl.info["reference"].sum() == 500
+
+    def test_lock_reference_is_f32_chain(self):
+        wl = build_lock_sum("tts", n=10, seed=1)
+        data = wl.mem.buffer("in")
+        acc = np.float32(0.0)
+        for v in data:
+            acc = np.float32(acc + v)
+        assert wl.info["reference_f32"] == float(acc)
+
+    def test_bc_initial_state(self):
+        g = generate("FA", 64)
+        wl = build_bc(g, source=3)
+        d = wl.mem.buffer("d")
+        assert d[3] == 0 and (d != -1).sum() == 1
+        sigma = wl.mem.buffer("sigma")
+        assert sigma[3] == 1.0 and sigma.sum() == 1.0
+
+    def test_pagerank_initial_rank_uniform(self):
+        g = generate("coA", 4096)
+        wl = build_pagerank(g, iterations=2)
+        rank = wl.mem.buffer("rank")
+        assert np.allclose(rank, 1.0 / g.num_nodes, rtol=1e-5)
+
+    def test_pagerank_final_buffer_depends_on_parity(self):
+        g = generate("coA", 4096)
+        assert build_pagerank(g, iterations=1).info["final_buffer"] == "next_rank"
+        assert build_pagerank(g, iterations=2).info["final_buffer"] == "rank"
+
+    def test_sssp_initial_distances(self):
+        g = generate("FA", 64)
+        wl = build_sssp(g, source=2)
+        dist = wl.mem.buffer("dist")
+        assert dist[2] == 0 and (dist == INF).sum() == g.num_nodes - 1
+
+    def test_sssp_reference_sane(self):
+        g = generate("1k", 64)
+        w = np.ones(g.num_edges, dtype=np.int64)
+        dist = sssp_reference(g, w)
+        assert dist[0] == 0
+        reached = dist[dist < INF]
+        assert (reached >= 0).all()
+
+    def test_conv_grid_structure(self):
+        for name, cfg in RESNET_LAYERS.items():
+            wl = build_conv(name)
+            k = wl.kernels[0]
+            assert k.grid_dim == cfg.regions * cfg.slices
+            assert len(wl.mem.buffer("dw")) == cfg.filter_elems
+
+    def test_workload_default_drive_launches_kernels(self):
+        wl = build_atomic_sum(n=64)
+        assert isinstance(wl, Workload)
+        assert wl.driver is None and len(wl.kernels) == 1
+
+    def test_fresh_builders_are_independent(self):
+        a = build_atomic_sum(n=64, seed=1)
+        b = build_atomic_sum(n=64, seed=1)
+        assert a.mem is not b.mem
+        assert (a.mem.buffer("in") == b.mem.buffer("in")).all()
