@@ -6,6 +6,7 @@ deterministic and expensive, so each measurement executes exactly once
 printed and archived under ``benchmarks/results/``.
 """
 
+import json
 import os
 import pathlib
 
@@ -15,11 +16,24 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def record_table(name: str, table) -> None:
-    """Print the regenerated table and archive it."""
+    """Print the regenerated table and archive it (.txt + .json).
+
+    The JSON twin carries the structured rows so figures can be
+    re-plotted without re-simulating or scraping the text rendering.
+    """
     text = table.render() if hasattr(table, "render") else str(table)
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    doc = {"name": name}
+    if hasattr(table, "columns") and hasattr(table, "rows"):
+        doc.update(title=table.title, columns=list(table.columns),
+                   rows=[list(r) for r in table.rows])
+    else:
+        doc["text"] = text
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(doc, indent=2, sort_keys=True, default=str) + "\n"
+    )
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -72,16 +72,36 @@ class AtomicBufferStats:
     reject_full: int = 0
     flushes: int = 0
     flushed_entries: int = 0
+    max_occupancy: int = 0
 
 
 class AtomicBuffer:
-    """A warp-level or scheduler-level DAB atomic buffer."""
+    """A warp-level or scheduler-level DAB atomic buffer.
 
-    def __init__(self, capacity: int, fusion: bool = False):
+    ``obs``/``name``/``sm_id`` are optional observability wiring: when
+    an :class:`repro.obs.Observability` hub is attached, inserts, fusion
+    hits, sticky-full trips and drains are emitted as cycle-stamped
+    ``buffer`` events under the hierarchical ``name``
+    (e.g. ``sm.3.sched.0``).  With ``obs=None`` (the default) every
+    emission site is a single attribute test.
+    """
+
+    def __init__(self, capacity: int, fusion: bool = False,
+                 obs=None, name: str = "", sm_id: int = -1):
         if capacity < 1:
             raise ValueError("buffer capacity must be >= 1")
         self.capacity = capacity
         self.fusion = fusion
+        self.obs = obs
+        self.name = name
+        self.sm_id = sm_id
+        self._m_flush_occ = None
+        if obs is not None and getattr(obs, "metrics", None) is not None:
+            from repro.obs import OCCUPANCY_EDGES
+
+            self._m_flush_occ = obs.histogram(
+                f"{name}.flushed_occupancy", OCCUPANCY_EDGES
+            )
         self.stats = AtomicBufferStats()
         self._entries: List[BufferEntry] = []
         self._index: Dict[Tuple[int, str], int] = {}  # (addr, opcode) -> entry idx
@@ -134,6 +154,9 @@ class AtomicBuffer:
         """Record a blocked issue: sets the sticky full bit."""
         self._full = True
         self.stats.reject_full += 1
+        if self.obs is not None:
+            self.obs.emit("buffer", "full", buf=self.name, sm=self.sm_id,
+                          occ=len(self._entries))
 
     def insert(self, ops: Sequence[AtomicOp]) -> None:
         """Insert one warp's red operations in increasing-lane order.
@@ -143,6 +166,7 @@ class AtomicBuffer:
         """
         if not self.can_accept(ops):
             raise RuntimeError("insert() without space; call can_accept first")
+        fused_before = self.stats.fused
         for op in ops:
             key = (op.addr, op.opcode)
             if self.fusion and key in self._index:
@@ -156,6 +180,16 @@ class AtomicBuffer:
                     BufferEntry(op.addr, op.opcode, op.operands[0])
                 )
             self.stats.inserts += 1
+        occ = len(self._entries)
+        if occ > self.stats.max_occupancy:
+            self.stats.max_occupancy = occ
+        if self.obs is not None:
+            fused = self.stats.fused - fused_before
+            self.obs.emit("buffer", "insert", buf=self.name, sm=self.sm_id,
+                          ops=len(ops), occ=occ)
+            if fused:
+                self.obs.emit("buffer", "fuse", buf=self.name, sm=self.sm_id,
+                              fused=fused, occ=occ)
 
     # -- draining -------------------------------------------------------------
     def drain(self, coalesce: bool) -> List[FlushTransaction]:
@@ -187,6 +221,11 @@ class AtomicBuffer:
         self._entries = []
         self._index.clear()
         self._full = False
+        if n and self._m_flush_occ is not None:
+            self._m_flush_occ.observe(n)
+        if self.obs is not None and n:
+            self.obs.emit("buffer", "drain", buf=self.name, sm=self.sm_id,
+                          entries=n, txns=len(txns), occ=0)
         return txns
 
     def peek_entries(self) -> Tuple[BufferEntry, ...]:

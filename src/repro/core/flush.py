@@ -73,12 +73,24 @@ class FlushController:
     def __init__(self, gpu: "GPU", config: DABConfig):
         self.gpu = gpu
         self.config = config
+        self.obs = getattr(gpu, "obs", None)
         self.stats = FlushStats()
         self.phase = FlushPhase.IDLE
         self._fence_requested = False
         self._drain_requested = False
         #: live flush rounds per cluster id (CIF) or -1 (global).
         self._active: Dict[int, dict] = {}
+        if self.obs is not None and self.obs.metrics is not None:
+            from repro.obs import FLUSH_CYCLE_EDGES
+
+            m = self.obs.metrics
+            self._m_count = m.counter("flush.count")
+            self._m_entries = m.counter("flush.entries")
+            self._m_txns = m.counter("flush.transactions")
+            self._m_cycles = m.histogram("flush.cycles", FLUSH_CYCLE_EDGES)
+        else:
+            self._m_count = self._m_entries = None
+            self._m_txns = self._m_cycles = None
 
     # ------------------------------------------------------------------
     @property
@@ -135,18 +147,22 @@ class FlushController:
                 return False
         if any_full:
             self.stats.trigger_full += 1
+            reason = "full"
         elif self._fence_requested:
             self.stats.trigger_fence += 1
+            reason = "fence"
         elif self._drain_requested:
             self.stats.trigger_drain += 1
+            reason = "drain"
         else:
             self.stats.trigger_quiesce += 1
+            reason = "quiesce"
         fence = self._fence_requested
         self._fence_requested = False
         self._drain_requested = False
         self._start_flush(now, [sm.sm_id for sm in sms], fence_release=fence,
                           key=-1 if not self.config.relax_overlap_flush
-                          else self.stats.flushes)
+                          else self.stats.flushes, reason=reason)
         return True
 
     def _maybe_trigger_cif(self, now: int) -> bool:
@@ -166,8 +182,9 @@ class FlushController:
             if not all(sm.buffers_flush_ready() for sm in sms):
                 continue
             self.stats.cluster_flushes += 1
+            reason = "full" if any_full else ("fence" if fence else "drain")
             self._start_flush(now, [sm.sm_id for sm in sms],
-                              fence_release=fence, key=cid)
+                              fence_release=fence, key=cid, reason=reason)
             started = True
         if started:
             # Fence/drain requests are satisfied once every cluster with
@@ -179,10 +196,11 @@ class FlushController:
 
     # ------------------------------------------------------------------
     def _start_flush(self, now: int, sm_ids: List[int], fence_release: bool,
-                     key: int) -> None:
+                     key: int, reason: str = "full") -> None:
         gpu = self.gpu
         cfg = self.config
         self.stats.flushes += 1
+        seq = self.stats.flushes
         self.phase = FlushPhase.ACTIVE
 
         # 1. Drain buffers into per-SM deterministic transaction streams.
@@ -209,6 +227,28 @@ class FlushController:
                 total_txns += 1
         self.stats.entries += total_ops
         self.stats.transactions += total_txns
+        if self._m_count is not None:
+            self._m_count.inc()
+            self._m_entries.inc(total_ops)
+            self._m_txns.inc(total_txns)
+
+        obs = self.obs
+        if obs is not None and obs.wants("flush"):
+            obs.emit_at(now, "flush", "begin", seq=seq, key=key,
+                        reason=reason, sms=len(sm_ids), entries=total_ops,
+                        txns=total_txns)
+            for sm_id in sorted(streams):
+                txns = streams[sm_id]
+                obs.emit_at(now, "flush", "drain", seq=seq, key=key,
+                            sm=sm_id,
+                            entries=sum(len(t.ops) for t in txns),
+                            txns=len(txns))
+            for p in range(num_parts):
+                if expected[p]:
+                    obs.emit_at(now, "flush", "preflush", seq=seq, key=key,
+                                partition=p,
+                                txns=sum(expected[p].values()),
+                                sms=len(expected[p]))
 
         state = {
             "started": now,
@@ -216,6 +256,8 @@ class FlushController:
             "last_done": now,
             "fence_release": fence_release,
             "sm_ids": list(sm_ids),
+            "seq": seq,
+            "entries": total_ops,
         }
         self._active[key] = state
 
@@ -278,6 +320,12 @@ class FlushController:
         state = self._active.pop(key)
         self.stats.total_flush_cycles += now - state["started"]
         self.stats.last_completion = now
+        if self._m_cycles is not None:
+            self._m_cycles.observe(now - state["started"])
+        if self.obs is not None:
+            self.obs.emit_at(now, "flush", "complete", seq=state["seq"],
+                             key=key, started=state["started"],
+                             cycle_done=now, entries=state["entries"])
         if not self._active:
             self.phase = FlushPhase.IDLE
         self.gpu.on_flush_complete(now, state["fence_release"], state["started"])

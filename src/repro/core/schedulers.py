@@ -82,6 +82,11 @@ class SchedulerPolicy:
         #: atomic candidate was blocked on buffer capacity; the SM trips
         #: the buffer's sticky full bit in response (see sim.sm).
         self.gate_blocked_warp = None
+        #: observability hub + (sm, scheduler) coordinates, wired by the
+        #: owning SM; None/-1 for standalone schedulers (unit tests).
+        self.obs = None
+        self.obs_sm = -1
+        self.obs_id = -1
 
     def select(
         self, now: int, slots: Sequence[Optional[WarpStatus]]
@@ -250,6 +255,9 @@ class GTRRScheduler(SchedulerPolicy):
         if self._mode == "gto":
             if all(s.next_atomic or s.at_barrier for s in live):
                 self._mode = "srr"
+                if self.obs is not None:
+                    self.obs.emit("sched", "mode_switch", sm=self.obs_sm,
+                                  sched=self.obs_id, mode="srr")
             else:
                 issuable = [
                     s for s in live
@@ -320,6 +328,10 @@ class GTARScheduler(SchedulerPolicy):
                 )
                 self._pending = [s.warp.uid for s in ordered]
                 self._round_open = bool(self._pending)
+                if self._round_open and self.obs is not None:
+                    self.obs.emit("sched", "round_advance", sm=self.obs_sm,
+                                  sched=self.obs_id,
+                                  pending=len(self._pending))
 
         head_status: Optional[WarpStatus] = None
         while self._round_open:
@@ -462,6 +474,10 @@ class GWATScheduler(SchedulerPolicy):
             if best_key is None or key < best_key:
                 best, best_key = idx, key
         self._token = best
+        if self.obs is not None:
+            self.obs.emit("sched", "token_pass", sm=self.obs_sm,
+                          sched=self.obs_id, from_slot=from_slot,
+                          to_slot=best)
 
     def _reseed_token(self, slots: Sequence[Optional[WarpStatus]]) -> None:
         best = None

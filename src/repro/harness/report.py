@@ -3,17 +3,37 @@
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Iterable, List, Sequence
 
 
 def geomean(values: Iterable[float]) -> float:
+    """Geometric mean over the *positive* values.
+
+    Zero/negative entries are undefined under a geometric mean; they are
+    dropped with a :class:`RuntimeWarning` (a dropped slowdown of 0 would
+    otherwise silently skew a figure).  All-non-positive input yields 0.0.
+    """
+    values = list(values)
     vals = [v for v in values if v > 0]
+    if len(vals) != len(values):
+        warnings.warn(
+            f"geomean: dropped {len(values) - len(vals)} non-positive "
+            f"value(s) of {len(values)}",
+            RuntimeWarning, stacklevel=2,
+        )
     if not vals:
         return 0.0
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
 def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient.
+
+    Raises :class:`ValueError` for unequal lengths or fewer than two
+    points (correlation is undefined there — callers must not silently
+    plot it).  A zero-variance series returns 0.0.
+    """
     n = len(xs)
     if n != len(ys) or n < 2:
         raise ValueError("need two equal-length series of >= 2 points")

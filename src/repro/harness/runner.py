@@ -8,6 +8,7 @@ from typing import Callable, Optional
 from repro.config import GPUConfig
 from repro.core.dab import DABConfig
 from repro.gpudet.gpudet import GPUDetConfig
+from repro.obs import ObsConfig
 from repro.sim.gpu import GPU
 from repro.sim.nondet import JitterSource
 from repro.sim.results import SimResult
@@ -58,12 +59,15 @@ def run_workload(
     jitter_dram: int = 16,
     jitter_icnt: int = 6,
     max_cycles: Optional[int] = None,
+    obs: Optional[ObsConfig] = None,
 ) -> SimResult:
     """Build a fresh workload instance and run it to completion.
 
     Returns the cumulative :class:`SimResult` with ``label`` set to the
     architecture's label and the workload's output digest recorded in
-    ``extra['output_digest']`` (the determinism check).
+    ``extra['output_digest']`` (the determinism check).  Pass an
+    :class:`~repro.obs.ObsConfig` to collect metrics / a structured
+    trace; the hub is attached to the result as ``result.obs``.
     """
     workload = factory()
     gpu = GPU(
@@ -73,6 +77,7 @@ def run_workload(
         gpudet=arch.gpudet if arch.kind == "gpudet" else None,
         jitter=JitterSource(seed, dram_max=jitter_dram, icnt_max=jitter_icnt)
         if jitter else None,
+        obs=obs,
     )
     if max_cycles is not None:
         original_run = gpu.run

@@ -31,6 +31,11 @@ class PartitionStats:
     atomics: int = 0
     flush_entries: int = 0
     l2_evictions_for_vwq: int = 0
+    #: flush transactions that arrived out of deterministic order and
+    #: had to wait in the reorder buffer (accumulated across rounds).
+    reorder_buffered: int = 0
+    #: peak reorder-buffer occupancy over the whole run (Fig 8 sizing).
+    reorder_max_depth: int = 0
 
 
 class MemoryPartition:
@@ -41,9 +46,11 @@ class MemoryPartition:
         mem: GlobalMemory,
         dram_jitter=None,
         model_virtual_write_queue: bool = False,
+        obs=None,
     ):
         self.partition_id = partition_id
         self.config = config
+        self.obs = obs
         self.l2 = SectorCache(config.l2_cache_per_partition)
         self.rop = ROPUnit(mem, config.rop_latency)
         self.dram = DRAMModel(
@@ -106,9 +113,17 @@ class MemoryPartition:
         before = self.flush_reorder.occupancy
         ready = self.flush_reorder.receive(sm_id, ops)
         after = self.flush_reorder.occupancy
-        if self.model_virtual_write_queue and after > before:
-            self.l2.evict_one()
-            self.stats.l2_evictions_for_vwq += 1
+        if after > before:
+            self.stats.reorder_buffered += 1
+            if after > self.stats.reorder_max_depth:
+                self.stats.reorder_max_depth = after
+            if self.model_virtual_write_queue:
+                self.l2.evict_one()
+                self.stats.l2_evictions_for_vwq += 1
+            if self.obs is not None:
+                self.obs.emit_at(now, "partition", "reorder_stall",
+                                 partition=self.partition_id, sm=sm_id,
+                                 depth=after)
         applied = []
         for txn in ready:
             applied.extend(self.apply_flush_ops(now, txn))
@@ -122,6 +137,9 @@ class MemoryPartition:
             self.stats.flush_entries += 1
             start = now + self.config.l2_cache_per_partition.hit_latency
             applied.append(self.rop.execute(start, op))
+        if self.obs is not None and ops:
+            self.obs.emit_at(now, "flush", "rop_apply",
+                             partition=self.partition_id, ops=len(ops))
         return applied
 
     @property

@@ -1,0 +1,135 @@
+"""repro.obs — simulator-wide observability.
+
+Three pieces, all opt-in and zero-cost when disabled:
+
+* :class:`MetricsRegistry` (:mod:`repro.obs.metrics`) — counters,
+  gauges, and fixed-bucket histograms registered under hierarchical
+  names (``sm.3.sched.0.atomics_buffered``);
+* :class:`EventTracer` (:mod:`repro.obs.tracer`) — ring-buffered,
+  cycle-stamped structured events with JSONL export whose bytes are a
+  deterministic function of the simulated execution;
+* :class:`PhaseProfiler` (:mod:`repro.obs.profile`) — host wall-clock
+  accounting per simulation phase (reported separately; never part of
+  determinism surfaces).
+
+Wiring pattern: the :class:`~repro.sim.gpu.GPU` builds one
+:class:`Observability` from an :class:`ObsConfig` and hands it to every
+component.  Components keep ``obs = None`` by default and guard every
+emission with ``if self.obs is not None`` — a disabled run never
+allocates an instrument or formats an event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.profile import PhaseProfiler
+from repro.obs.tracer import CATEGORIES, EventTracer
+
+#: Fixed bucket edges shared by every occupancy/depth histogram, so the
+#: exports of differently-sized machines stay directly comparable.
+OCCUPANCY_EDGES: Tuple[int, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+#: Flush-duration histogram edges (cycles).
+FLUSH_CYCLE_EDGES: Tuple[int, ...] = (
+    0, 50, 100, 200, 400, 800, 1600, 3200, 6400, 12800,
+)
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What to observe.  The all-defaults instance observes nothing."""
+
+    #: collect metrics into a registry (surfaced by ``metrics_dict``).
+    metrics: bool = False
+    #: capture structured events.
+    trace: bool = False
+    #: restrict tracing to these categories (None = all).
+    trace_categories: Optional[Tuple[str, ...]] = None
+    #: ring-buffer capacity in events (0 = unbounded).
+    trace_capacity: int = 65536
+    #: time host-side simulation phases (wall clock).
+    profile: bool = False
+
+    @property
+    def enabled(self) -> bool:
+        return self.metrics or self.trace or self.profile
+
+    @classmethod
+    def full(cls, trace_capacity: int = 65536) -> "ObsConfig":
+        """Everything on — the `repro trace` / debugging configuration."""
+        return cls(metrics=True, trace=True, profile=True,
+                   trace_capacity=trace_capacity)
+
+
+class Observability:
+    """The per-run observability hub handed to simulator components.
+
+    Holds the registry/tracer/profiler and the *current cycle* (kept
+    up to date by the GPU main loop) so deeply-nested components — an
+    :class:`~repro.core.atomic_buffer.AtomicBuffer` fusing an entry —
+    can stamp events without threading ``now`` through every call.
+    """
+
+    def __init__(self, config: ObsConfig):
+        self.config = config
+        self.cycle = 0
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if config.metrics else None
+        )
+        self.tracer: Optional[EventTracer] = (
+            EventTracer(config.trace_capacity, config.trace_categories)
+            if config.trace else None
+        )
+        self.profiler: Optional[PhaseProfiler] = (
+            PhaseProfiler() if config.profile else None
+        )
+
+    # -- tracing ----------------------------------------------------------
+    def wants(self, category: str) -> bool:
+        """Cheap pre-check so callers can skip payload construction."""
+        return self.tracer is not None and self.tracer.wants(category)
+
+    def emit(self, category: str, name: str, **payload) -> None:
+        """Record one event at the current cycle."""
+        if self.tracer is not None:
+            self.tracer.emit(self.cycle, category, name, payload)
+
+    def emit_at(self, cycle: int, category: str, name: str, **payload) -> None:
+        """Record one event at an explicit cycle (event-heap callbacks)."""
+        if self.tracer is not None:
+            self.tracer.emit(cycle, category, name, payload)
+
+    # -- metrics ----------------------------------------------------------
+    def counter(self, name: str) -> Optional[Counter]:
+        return self.metrics.counter(name) if self.metrics is not None else None
+
+    def gauge(self, name: str) -> Optional[Gauge]:
+        return self.metrics.gauge(name) if self.metrics is not None else None
+
+    def histogram(self, name: str, edges) -> Optional[Histogram]:
+        return (self.metrics.histogram(name, edges)
+                if self.metrics is not None else None)
+
+
+__all__ = [
+    "CATEGORIES",
+    "Counter",
+    "EventTracer",
+    "FLUSH_CYCLE_EDGES",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "Observability",
+    "ObsConfig",
+    "OCCUPANCY_EDGES",
+    "PhaseProfiler",
+]

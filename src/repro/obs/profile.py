@@ -1,0 +1,56 @@
+"""Host-side phase profiling: where does *Python* time go?
+
+The simulator's wall-clock cost is dominated by a few phases of the
+main loop (warp issue, event-heap servicing, flush orchestration).
+:class:`PhaseProfiler` accumulates ``perf_counter`` seconds and call
+counts per phase so `repro run --metrics-json` can report Python-level
+hot spots.
+
+Wall-clock numbers are inherently non-deterministic, so profiler output
+is kept in a separate ``host_profile`` section of the metrics document
+and is **never** part of trace digests or determinism comparisons.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+
+class PhaseProfiler:
+    """Manual start/stop accumulator (cheaper than context managers in
+    the hot loop; the GPU run loop calls ``t0 = profiler.start()`` /
+    ``profiler.stop(phase, t0)`` directly)."""
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    @staticmethod
+    def start() -> float:
+        return time.perf_counter()
+
+    def stop(self, phase: str, t0: float) -> None:
+        dt = time.perf_counter() - t0
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + dt
+        self.calls[phase] = self.calls.get(phase, 0) + 1
+
+    def add(self, phase: str, seconds: float, calls: int = 1) -> None:
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + seconds
+        self.calls[phase] = self.calls.get(phase, 0) + calls
+
+    def as_dict(self) -> Dict[str, dict]:
+        return {
+            phase: {
+                "seconds": self.seconds[phase],
+                "calls": self.calls.get(phase, 0),
+            }
+            for phase in sorted(self.seconds)
+        }
+
+    def table_rows(self) -> List[Tuple[str, float, int]]:
+        """(phase, seconds, calls) rows sorted by descending time."""
+        return sorted(
+            ((p, s, self.calls.get(p, 0)) for p, s in self.seconds.items()),
+            key=lambda row: -row[1],
+        )

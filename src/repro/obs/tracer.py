@@ -1,0 +1,126 @@
+"""Structured, cycle-stamped event tracing with deterministic export.
+
+Events are small tuples ``(cycle, category, name, payload)`` appended to
+a bounded ring buffer (oldest events drop first; the drop count is
+reported).  Export is JSONL — one event per line, keys sorted — so two
+identical simulations produce *bitwise-identical* trace files, which
+makes the trace itself a determinism-audit surface
+(``repro audit --trace-digest``).
+
+Payload values must be deterministic simulation quantities (cycles,
+ids, counts, opcodes) — never host wall-clock times or ``id()``s.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Every category the simulator emits (CLI validates filters against it).
+CATEGORIES = ("buffer", "sched", "flush", "partition", "dispatch", "kernel")
+
+
+class TraceEvent(Tuple):
+    """Alias documenting the event tuple shape (cycle, cat, name, payload)."""
+
+
+class EventTracer:
+    """Ring-buffered event sink with category filtering.
+
+    ``capacity`` bounds retained events (0 = unbounded).  ``categories``
+    restricts capture to a subset of :data:`CATEGORIES`; ``None`` keeps
+    everything.  Filtering happens at emit time so disabled categories
+    cost one set-membership test.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        categories: Optional[Iterable[str]] = None,
+    ):
+        if capacity < 0:
+            raise ValueError("trace capacity must be >= 0")
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity or None)
+        self.dropped = 0
+        self.emitted = 0
+        if categories is None:
+            self._cats: Optional[frozenset] = None
+        else:
+            cats = frozenset(categories)
+            unknown = cats - set(CATEGORIES)
+            if unknown:
+                raise ValueError(
+                    f"unknown trace categories {sorted(unknown)}; "
+                    f"choose from {CATEGORIES}"
+                )
+            self._cats = cats
+
+    # -- capture ----------------------------------------------------------
+    def wants(self, category: str) -> bool:
+        return self._cats is None or category in self._cats
+
+    def emit(self, cycle: int, category: str, name: str, payload: Dict) -> None:
+        if self._cats is not None and category not in self._cats:
+            return
+        self.emitted += 1
+        if self.capacity and len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append((cycle, category, name, payload))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(
+        self,
+        category: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> List[tuple]:
+        """Retained events, optionally filtered, in emission order."""
+        out = []
+        for ev in self._events:
+            if category is not None and ev[1] != category:
+                continue
+            if name is not None and ev[2] != name:
+                continue
+            out.append(ev)
+        return out
+
+    # -- export -----------------------------------------------------------
+    def to_jsonl_lines(self) -> List[str]:
+        """One JSON document per event; keys sorted for bitwise stability."""
+        lines = []
+        for cycle, cat, name, payload in self._events:
+            doc = {"cycle": cycle, "cat": cat, "event": name}
+            doc.update(payload)
+            lines.append(json.dumps(doc, sort_keys=True, separators=(",", ":")))
+        return lines
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the retained events as JSONL; returns the event count."""
+        lines = self.to_jsonl_lines()
+        with open(path, "w") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+        return len(lines)
+
+    def digest(self) -> str:
+        """SHA-256 over the exported JSONL byte stream."""
+        h = hashlib.sha256()
+        for line in self.to_jsonl_lines():
+            h.update(line.encode())
+            h.update(b"\n")
+        return h.hexdigest()
+
+    @staticmethod
+    def read_jsonl(path: str) -> List[dict]:
+        """Parse a trace file back into event dicts (round-trip helper)."""
+        out = []
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    out.append(json.loads(line))
+        return out

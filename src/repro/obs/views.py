@@ -1,0 +1,128 @@
+"""Text renderings of a captured trace (the `repro trace` subcommand).
+
+Two views over the structured event stream:
+
+* **flush waterfall** — one block per flush round, one bar per SM sized
+  by the entries that SM contributed; makes flush load-imbalance (the
+  Fig 16 offset-flushing motivation) visible at a glance;
+* **buffer occupancy** — a per-SM timeline of atomic-buffer occupancy
+  sampled into fixed-width columns; shows when buffers fill (capacity
+  pressure, Fig 12) and when flushes empty them.
+
+Both operate on the tuple events retained by an
+:class:`~repro.obs.tracer.EventTracer`; rendering is pure text so the
+output diffs cleanly and needs no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.tracer import EventTracer
+
+_SHADES = " .:-=+*#%@"
+
+
+def _bar(value: int, peak: int, width: int) -> str:
+    if peak <= 0 or value <= 0:
+        return ""
+    n = max(1, round(width * value / peak))
+    return "#" * min(n, width)
+
+
+def render_flush_waterfall(tracer: EventTracer, width: int = 40,
+                           max_flushes: Optional[int] = None) -> str:
+    """Per-flush, per-SM entry contribution bars."""
+    begins = tracer.events("flush", "begin")
+    drains = tracer.events("flush", "drain")
+    completes = tracer.events("flush", "complete")
+    if not begins:
+        return "no flush events in trace (arch without DAB, or category filtered)"
+
+    complete_by_seq: Dict[int, dict] = {}
+    for _cyc, _cat, _name, p in completes:
+        complete_by_seq[p["seq"]] = p
+    drains_by_seq: Dict[int, List[Tuple[int, dict]]] = {}
+    for cyc, _cat, _name, p in drains:
+        drains_by_seq.setdefault(p["seq"], []).append((cyc, p))
+
+    out: List[str] = []
+    shown = begins if max_flushes is None else begins[:max_flushes]
+    for cyc, _cat, _name, p in shown:
+        seq = p["seq"]
+        done = complete_by_seq.get(seq)
+        span = f"cycle {cyc}"
+        if done is not None:
+            span += f" -> {done['cycle_done']} ({done['cycle_done'] - cyc} cyc)"
+        out.append(
+            f"flush #{p['seq']} [{p['reason']}] {span}: "
+            f"{p['entries']} entries / {p['txns']} txns"
+        )
+        sm_drains = sorted(drains_by_seq.get(seq, ()),
+                           key=lambda item: item[1]["sm"])
+        peak = max((d["entries"] for _c, d in sm_drains), default=0)
+        for _c, d in sm_drains:
+            bar = _bar(d["entries"], peak, width)
+            out.append(
+                f"  sm {d['sm']:>3} |{bar:<{width}}| "
+                f"entries={d['entries']} txns={d['txns']}"
+            )
+        out.append("")
+    if max_flushes is not None and len(begins) > max_flushes:
+        out.append(f"... {len(begins) - max_flushes} more flushes not shown")
+    return "\n".join(out).rstrip()
+
+
+def render_buffer_occupancy(tracer: EventTracer, width: int = 64) -> str:
+    """Per-SM buffer-occupancy heat strip sampled over the traced window."""
+    events = [
+        (cyc, p) for cyc, _cat, name, p in tracer.events("buffer")
+        if name in ("insert", "drain") and "occ" in p and "sm" in p
+    ]
+    if not events:
+        return "no buffer events in trace (arch without DAB, or category filtered)"
+
+    lo = min(cyc for cyc, _p in events)
+    hi = max(cyc for cyc, _p in events)
+    span = max(1, hi - lo)
+    # Column-wise max occupancy per SM (max over that SM's buffers).
+    sms = sorted({p["sm"] for _c, p in events})
+    grid: Dict[int, List[int]] = {sm: [0] * width for sm in sms}
+    peak = 1
+    for cyc, p in events:
+        col = min(width - 1, (cyc - lo) * width // span)
+        occ = p["occ"]
+        row = grid[p["sm"]]
+        if occ > row[col]:
+            row[col] = occ
+        if occ > peak:
+            peak = occ
+
+    out = [
+        f"buffer occupancy, cycles {lo}..{hi} "
+        f"(column = {span / width:.0f} cycles, peak = {peak} entries)"
+    ]
+    top = len(_SHADES) - 1
+    for sm in sms:
+        strip = "".join(
+            _SHADES[min(top, occ * top // peak)] for occ in grid[sm]
+        )
+        out.append(f"  sm {sm:>3} |{strip}|")
+    out.append(f"  scale: ' ' = 0 ... '@' = {peak}")
+    return "\n".join(out)
+
+
+def render_trace_summary(tracer: EventTracer) -> str:
+    """Event counts by (category, name) plus ring-buffer health."""
+    counts: Dict[Tuple[str, str], int] = {}
+    for _cyc, cat, name, _p in tracer.events():
+        counts[(cat, name)] = counts.get((cat, name), 0) + 1
+    out = [
+        f"trace: {len(tracer)} events retained, "
+        f"{tracer.emitted} emitted, {tracer.dropped} dropped"
+    ]
+    if counts:
+        label_w = max(len(f"{cat}.{name}") for cat, name in counts)
+        for (cat, name), n in sorted(counts.items()):
+            out.append(f"  {cat + '.' + name:<{label_w}} {n:>8}")
+    return "\n".join(out)

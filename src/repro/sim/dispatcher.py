@@ -26,12 +26,17 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class CTADispatcher:
-    def __init__(self, sms: List["SM"], deterministic: bool):
+    def __init__(self, sms: List["SM"], deterministic: bool, obs=None):
         self.sms = sms
         self.deterministic = deterministic
+        self.obs = obs
         self._launch: Optional[KernelLaunch] = None
         #: deterministic mode: per-SM queues of CTA ids, placed in order.
         self._per_sm_next: List[int] = [0] * len(sms)
+
+    def _emit_place(self, now: int, cta: CTA) -> None:
+        self.obs.emit_at(now, "dispatch", "cta_place", cta=cta.cta_id,
+                         sm=cta.sm_id, batch=cta.batch)
 
     # ------------------------------------------------------------------
     def begin_kernel(self, kernel: Kernel) -> None:
@@ -71,6 +76,8 @@ class CTADispatcher:
                     break
                 self._per_sm_next[sm.sm_id] = j + 1
                 placed += 1
+                if self.obs is not None:
+                    self._emit_place(now, cta)
         launch.next_cta = min(
             kernel.grid_dim,
             sum(self._per_sm_next[s] for s in range(n)),
@@ -97,6 +104,8 @@ class CTADispatcher:
                 break
             launch.next_cta += 1
             placed += 1
+            if self.obs is not None:
+                self._emit_place(now, cta)
         return placed
 
     def finish_kernel(self) -> None:

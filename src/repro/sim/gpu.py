@@ -29,6 +29,7 @@ from repro.interconnect.network import Network
 from repro.memory.address import AddressMap
 from repro.memory.globalmem import GlobalMemory
 from repro.memory.partition import MemoryPartition
+from repro.obs import Observability, ObsConfig
 from repro.sim.cluster import Cluster
 from repro.sim.dispatcher import CTADispatcher
 from repro.sim.nondet import JitterSource
@@ -54,6 +55,7 @@ class GPU:
         jitter: Optional[JitterSource] = None,
         deterministic_dispatch: Optional[bool] = None,
         model_virtual_write_queue: bool = False,
+        obs: Optional[ObsConfig] = None,
     ):
         if dab is not None and gpudet is not None:
             raise ValueError("choose at most one of dab / gpudet")
@@ -69,6 +71,11 @@ class GPU:
         self.mem = mem
         self.dab = dab
         self.jitter = jitter
+        #: observability hub; None when disabled so every emission site
+        #: in the simulator reduces to one attribute test (zero-cost).
+        self.obs: Optional[Observability] = (
+            Observability(obs) if obs is not None and obs.enabled else None
+        )
         self.addr_map = AddressMap(
             line_bytes=config.l2_cache_per_partition.line_bytes,
             sector_bytes=config.l2_cache_per_partition.sector_bytes,
@@ -81,6 +88,7 @@ class GPU:
             MemoryPartition(
                 p, config, mem, dram_jitter=dram_jitter,
                 model_virtual_write_queue=model_virtual_write_queue,
+                obs=self.obs,
             )
             for p in range(config.num_mem_partitions)
         ]
@@ -122,7 +130,8 @@ class GPU:
 
         if deterministic_dispatch is None:
             deterministic_dispatch = dab is not None or self.gpudet is not None
-        self.dispatcher = CTADispatcher(self.sms, deterministic_dispatch)
+        self.dispatcher = CTADispatcher(self.sms, deterministic_dispatch,
+                                        obs=self.obs)
 
         # Event heap.
         self._heap: list = []
@@ -291,6 +300,10 @@ class GPU:
         self.dispatcher.begin_kernel(self._current)
         if self.gpudet is not None:
             self.gpudet.begin_kernel(self._current)
+        if self.obs is not None:
+            self.obs.emit_at(self.cycle, "kernel", "begin",
+                             kernel=self._current.name,
+                             grid=self._current.grid_dim)
 
     def _kernel_complete(self) -> bool:
         k = self._current
@@ -313,6 +326,9 @@ class GPU:
         return True
 
     def _finish_kernel(self) -> None:
+        if self.obs is not None and self._current is not None:
+            self.obs.emit_at(self.cycle, "kernel", "end",
+                             kernel=self._current.name)
         self.dispatcher.finish_kernel()
         for sm in self.sms:
             for sched in sm.schedulers:
@@ -345,15 +361,24 @@ class GPU:
     # Main loop.
     # ------------------------------------------------------------------
     def run(self, max_cycles: int = 200_000_000) -> SimResult:
+        obs = self.obs
+        prof = obs.profiler if obs is not None else None
+        run_t0 = prof.start() if prof is not None else 0.0
         while True:
             if self.cycle > max_cycles:
                 raise SimulationError(f"exceeded {max_cycles} cycles")
             progressed = False
+            if obs is not None:
+                obs.cycle = self.cycle
 
+            if prof is not None:
+                t0 = prof.start()
             while self._heap and self._heap[0][0] <= self.cycle:
                 _t, _s, fn, args = heapq.heappop(self._heap)
                 fn(self.cycle, args)
                 progressed = True
+            if prof is not None:
+                prof.stop("event_heap", t0)
 
             if self._current is None:
                 if not self._queue:
@@ -361,19 +386,31 @@ class GPU:
                 self._start_next_kernel()
                 progressed = True
 
+            if prof is not None:
+                t0 = prof.start()
             if self.dispatcher.place(self.cycle):
                 progressed = True
+            if prof is not None:
+                prof.stop("dispatch", t0)
 
+            if prof is not None:
+                t0 = prof.start()
             issued = 0
             for sm in self.sms:
                 issued += sm.issue_cycle(self.cycle)
             if issued:
                 progressed = True
+            if prof is not None:
+                prof.stop("issue", t0)
 
+            if prof is not None:
+                t0 = prof.start()
             if self.gpudet is not None and self.gpudet.tick(self.cycle):
                 progressed = True
             if self.flush is not None and self.flush.maybe_trigger(self.cycle):
                 progressed = True
+            if prof is not None:
+                prof.stop("flush", t0)
 
             if self._kernel_complete():
                 self._finish_kernel()
@@ -407,6 +444,8 @@ class GPU:
                 f"(kernel={self._current.name if self._current else None})"
             )
 
+        if prof is not None:
+            prof.stop("run_total", run_t0)
         return self._collect_result()
 
     def _earliest_warp_wake(self) -> Optional[int]:
@@ -456,6 +495,35 @@ class GPU:
                 label = "GPUDet"
             else:
                 label = "baseline"
+        buffer_stats = [
+            {
+                "sm": sm.sm_id,
+                "buffer": i,
+                "name": buf.name,
+                "inserts": buf.stats.inserts,
+                "fused": buf.stats.fused,
+                "reject_full": buf.stats.reject_full,
+                "flushes": buf.stats.flushes,
+                "flushed_entries": buf.stats.flushed_entries,
+                "max_occupancy": buf.stats.max_occupancy,
+            }
+            for sm in self.sms
+            for i, buf in enumerate(sm.buffers)
+        ]
+        partition_stats = [
+            {
+                "partition": p.partition_id,
+                "reads": p.stats.reads,
+                "writes": p.stats.writes,
+                "atomics": p.stats.atomics,
+                "flush_entries": p.stats.flush_entries,
+                "reorder_buffered": p.stats.reorder_buffered,
+                "reorder_max_depth": p.stats.reorder_max_depth,
+            }
+            for p in self.partitions
+        ]
+        if self.obs is not None and self.obs.metrics is not None:
+            self._mirror_metrics()
         return SimResult(
             label=label,
             cycles=self.cycle,
@@ -474,4 +542,40 @@ class GPU:
             icnt_queue_delay=self.net_fwd.stats.total_queue_delay
             + self.net_rev.stats.total_queue_delay,
             gpudet_mode_cycles=mode_cycles,
+            buffer_stats=buffer_stats,
+            partition_stats=partition_stats,
+            obs=self.obs,
         )
+
+    def _mirror_metrics(self) -> None:
+        """Publish end-of-run component stats into the metrics registry.
+
+        Hot-path code keeps counting in plain attributes (free); this
+        one pass mirrors them under hierarchical registry names
+        (``sm.3.sched.0.atomics_buffered``,
+        ``partition.1.flush.reorder_depth``).  Gauges are overwritten
+        and counters deltas applied so repeated ``run()`` calls (multi-
+        kernel host drivers) stay correct: we set gauges to the current
+        cumulative value.
+        """
+        m = self.obs.metrics
+        for sm in self.sms:
+            prefix = f"sm.{sm.sm_id}"
+            for i, buf in enumerate(sm.buffers):
+                bp = buf.name or f"{prefix}.buf.{i}"
+                m.gauge(f"{bp}.atomics_buffered").set(buf.stats.inserts)
+                m.gauge(f"{bp}.atomics_fused").set(buf.stats.fused)
+                m.gauge(f"{bp}.full_events").set(buf.stats.reject_full)
+                m.gauge(f"{bp}.max_occupancy").set(buf.stats.max_occupancy)
+            m.gauge(f"{prefix}.instructions").set(sm.instructions)
+            m.gauge(f"{prefix}.atomics").set(sm.atomics)
+            for bucket, v in sm.stalls.as_dict().items():
+                m.gauge(f"{prefix}.stall.{bucket}").set(v)
+        for p in self.partitions:
+            pp = f"partition.{p.partition_id}"
+            m.gauge(f"{pp}.reads").set(p.stats.reads)
+            m.gauge(f"{pp}.writes").set(p.stats.writes)
+            m.gauge(f"{pp}.atomics").set(p.stats.atomics)
+            m.gauge(f"{pp}.flush.entries").set(p.stats.flush_entries)
+            m.gauge(f"{pp}.flush.reorder_depth").set(p.stats.reorder_max_depth)
+            m.gauge(f"{pp}.flush.reorder_buffered").set(p.stats.reorder_buffered)

@@ -2,13 +2,40 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
+
+#: Version tag for the ``metrics_dict`` document layout.  Bump only on
+#: breaking key changes; downstream tooling (CI smoke checks, bench
+#: trackers) pins on it.
+METRICS_SCHEMA = "repro.metrics/v1"
+
+_STRICT_ENV = "REPRO_STRICT_STALLS"
+
+
+def strict_stalls() -> bool:
+    """Strict stall accounting: unknown reasons raise instead of being
+    folded into the ``other`` bucket.  Enabled via the
+    ``REPRO_STRICT_STALLS`` environment variable (any non-empty value
+    except ``0``); tests and CI set it to catch new stall sources that
+    were never given a Fig 15 bucket."""
+    v = os.environ.get(_STRICT_ENV, "")
+    return v not in ("", "0")
 
 
 @dataclass
 class StallBreakdown:
-    """Per-scheduler-cycle stall accounting (Fig 15 buckets)."""
+    """Per-scheduler-cycle stall accounting (Fig 15 buckets).
+
+    ``other`` collects stall reasons no named bucket claims; it keeps
+    Fig 15 data honest when a new stall source appears (previously such
+    reasons were silently folded into ``mem``).  Under
+    :func:`strict_stalls` an unknown reason raises immediately.
+    """
 
     issued: int = 0
     empty: int = 0
@@ -20,18 +47,26 @@ class StallBreakdown:
     buffer_full: int = 0
     flush: int = 0
     batch: int = 0
+    other: int = 0
 
     _FIELDS = (
         "issued", "empty", "mem", "barrier", "inorder",
-        "token", "round", "buffer_full", "flush", "batch",
+        "token", "round", "buffer_full", "flush", "batch", "other",
     )
 
     def record(self, reason: Optional[str]) -> None:
         if reason is None:
             self.issued += 1
             return
-        key = reason if reason in self._FIELDS else "mem"
-        setattr(self, key, getattr(self, key) + 1)
+        if reason in self._FIELDS:
+            setattr(self, reason, getattr(self, reason) + 1)
+            return
+        if strict_stalls():
+            raise ValueError(
+                f"unknown stall reason {reason!r}; add a StallBreakdown "
+                f"bucket for it (known: {', '.join(self._FIELDS)})"
+            )
+        self.other += 1
 
     def merge(self, other: "StallBreakdown") -> None:
         for f in self._FIELDS:
@@ -71,6 +106,14 @@ class SimResult:
     icnt_queue_delay: int = 0
     gpudet_mode_cycles: Dict[str, int] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: per-buffer telemetry rows: one dict per (sm, buffer) pair.
+    buffer_stats: List[Dict[str, int]] = field(default_factory=list)
+    #: per-memory-partition telemetry rows (reorder depth, traffic).
+    partition_stats: List[Dict[str, int]] = field(default_factory=list)
+    #: the run's observability hub (registry/tracer/profiler), if any.
+    obs: Optional["Observability"] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def ipc(self) -> float:
@@ -93,3 +136,63 @@ class SimResult:
             f"IPC={self.ipc:.2f}, atomics PKI={self.atomics_per_kilo_instr:.2f}, "
             f"flushes={self.flush_count}"
         )
+
+    # ------------------------------------------------------------------
+    def metrics_dict(self) -> Dict[str, object]:
+        """The machine-readable run report (``--metrics-json``).
+
+        Schema-stable: every top-level key is always present (empty
+        when the producing subsystem was disabled), so downstream
+        tooling can diff two reports without key churn.  Host wall-clock
+        data lives only under ``host_profile`` — strip that section (and
+        ``trace.digest`` if tracing was off) before determinism diffs.
+        """
+        extra = {k: self.extra[k] for k in sorted(self.extra)}
+        doc: Dict[str, object] = {
+            "schema": METRICS_SCHEMA,
+            "label": self.label,
+            "workload": self.extra.get("workload", ""),
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "ipc": self.ipc,
+            "atomics": self.atomics,
+            "atomics_pki": self.atomics_per_kilo_instr,
+            "kernels": self.kernels,
+            "mem_digest": self.mem_digest,
+            "stalls": self.stalls.as_dict(),
+            "stall_determinism_overhead": self.stalls.determinism_overhead_fraction(),
+            "caches": {
+                "l1_miss_rate": self.l1_miss_rate,
+                "l2_miss_rate": self.l2_miss_rate,
+            },
+            "flush": {
+                "count": self.flush_count,
+                "cycles": self.flush_cycles,
+                "entries": self.flush_entries,
+                "fused_atomics": self.fused_atomics,
+            },
+            "icnt": {
+                "packets": self.icnt_packets,
+                "queue_delay": self.icnt_queue_delay,
+            },
+            "gpudet_mode_cycles": dict(self.gpudet_mode_cycles),
+            "buffers": list(self.buffer_stats),
+            "partitions": list(self.partition_stats),
+            "extra": extra,
+            "metrics": {},
+            "trace": {},
+            "host_profile": {},
+        }
+        if self.obs is not None:
+            if self.obs.metrics is not None:
+                doc["metrics"] = self.obs.metrics.as_dict()
+            if self.obs.tracer is not None:
+                doc["trace"] = {
+                    "events_retained": len(self.obs.tracer),
+                    "events_emitted": self.obs.tracer.emitted,
+                    "events_dropped": self.obs.tracer.dropped,
+                    "digest": self.obs.tracer.digest(),
+                }
+            if self.obs.profiler is not None:
+                doc["host_profile"] = self.obs.profiler.as_dict()
+        return doc

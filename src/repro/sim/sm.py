@@ -50,11 +50,16 @@ class SM:
         self.slots_per_scheduler = cfg.warps_per_scheduler
         self.total_slots = cfg.max_warps_per_sm
 
+        self.obs = getattr(gpu, "obs", None)
         sched_name = gpu.dab.scheduler if gpu.dab is not None else cfg.baseline_scheduler
         self.schedulers = [
             make_scheduler(sched_name, self.slots_per_scheduler)
             for _ in range(self.num_schedulers)
         ]
+        for i, sched in enumerate(self.schedulers):
+            sched.obs = self.obs
+            sched.obs_sm = sm_id
+            sched.obs_id = i
         #: per-scheduler local slot tables.
         self.sched_slots: List[List[Optional[Warp]]] = [
             [None] * self.slots_per_scheduler for _ in range(self.num_schedulers)
@@ -69,9 +74,13 @@ class SM:
         if self.dab is not None:
             self._warp_level = self.dab.buffer_level is BufferLevel.WARP
             count = self.total_slots if self._warp_level else self.num_schedulers
+            kind = "warp" if self._warp_level else "sched"
             self.buffers = [
-                AtomicBuffer(self.dab.buffer_entries, fusion=self.dab.fusion)
-                for _ in range(count)
+                AtomicBuffer(
+                    self.dab.buffer_entries, fusion=self.dab.fusion,
+                    obs=self.obs, name=f"sm.{sm_id}.{kind}.{i}", sm_id=sm_id,
+                )
+                for i in range(count)
             ]
 
         # Kernel/batch bookkeeping.

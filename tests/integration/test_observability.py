@@ -1,0 +1,123 @@
+"""End-to-end observability: determinism of traces, metrics JSON, CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config import GPUConfig
+from repro.harness.runner import ArchSpec, run_workload
+from repro.obs import ObsConfig
+from repro.workloads.microbench import build_atomic_sum
+
+
+def run_traced(seed=1, n=128, arch=None, obs=None):
+    return run_workload(
+        lambda: build_atomic_sum(n),
+        arch or ArchSpec.make_dab(),
+        gpu_config=GPUConfig.tiny(),
+        seed=seed,
+        obs=obs or ObsConfig.full(trace_capacity=0),
+    )
+
+
+class TestTraceDeterminism:
+    def test_identical_runs_produce_identical_traces(self, tmp_path):
+        a = run_traced()
+        b = run_traced()
+        assert a.obs.tracer.digest() == b.obs.tracer.digest()
+        pa, pb = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        a.obs.tracer.write_jsonl(pa)
+        b.obs.tracer.write_jsonl(pb)
+        assert open(pa, "rb").read() == open(pb, "rb").read()
+
+    def test_different_seed_changes_trace_not_output(self):
+        a = run_traced(seed=1)
+        b = run_traced(seed=2)
+        # Timing varies with jitter, the committed result must not.
+        assert a.extra["output_digest"] == b.extra["output_digest"]
+        assert a.obs.tracer.digest() != b.obs.tracer.digest()
+
+    def test_metrics_mirror_result_counters(self):
+        r = run_traced()
+        m = r.obs.metrics
+        total_inserts = sum(row["inserts"] for row in r.buffer_stats)
+        mirrored = sum(
+            v["value"] for k, v in m.prefixed("sm.").items()
+            if k.endswith(".atomics_buffered")
+        )
+        assert mirrored == total_inserts > 0
+
+    def test_disabled_obs_attaches_nothing(self):
+        r = run_workload(lambda: build_atomic_sum(64), ArchSpec.make_dab(),
+                         gpu_config=GPUConfig.tiny())
+        assert r.obs is None
+        assert r.metrics_dict()["metrics"] == {}
+
+
+class TestMetricsDict:
+    REQUIRED = ("schema", "label", "workload", "cycles", "instructions",
+                "ipc", "stalls", "caches", "flush", "icnt", "buffers",
+                "partitions", "metrics", "trace", "host_profile")
+
+    def test_schema_stable_keys(self):
+        doc = run_traced().metrics_dict()
+        for key in self.REQUIRED:
+            assert key in doc, key
+        assert doc["schema"] == "repro.metrics/v1"
+
+    def test_required_content(self):
+        doc = run_traced().metrics_dict()
+        assert "buffer_full" in doc["stalls"] and "other" in doc["stalls"]
+        assert doc["buffers"] and {"fused", "max_occupancy"} <= set(
+            doc["buffers"][0])
+        assert doc["partitions"] and "reorder_max_depth" in doc["partitions"][0]
+        assert doc["trace"]["events_emitted"] > 0
+
+    def test_json_serializable_and_stable(self):
+        # host_profile is wall clock — the only non-deterministic section.
+        da, db = run_traced().metrics_dict(), run_traced().metrics_dict()
+        da.pop("host_profile"), db.pop("host_profile")
+        assert json.dumps(da, sort_keys=True) == json.dumps(db, sort_keys=True)
+
+
+class TestCLI:
+    def test_run_with_metrics_and_trace(self, tmp_path, capsys):
+        mpath = str(tmp_path / "m.json")
+        tpath = str(tmp_path / "t.jsonl")
+        rc = main(["run", "--workload", "microbench:64", "--arch", "dab",
+                   "--preset", "tiny", "--metrics-json", mpath,
+                   "--trace", tpath])
+        assert rc == 0
+        doc = json.loads(open(mpath).read())
+        assert doc["schema"] == "repro.metrics/v1" and doc["metrics"]
+        lines = [json.loads(l) for l in open(tpath) if l.strip()]
+        assert lines and all("cycle" in l and "cat" in l for l in lines)
+
+    def test_run_metrics_to_stdout(self, capsys):
+        rc = main(["run", "--workload", "microbench:64", "--arch", "dab",
+                   "--preset", "tiny", "--metrics-json", "-"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert '"schema": "repro.metrics/v1"' in out
+
+    def test_trace_subcommand_views(self, capsys):
+        rc = main(["trace", "--workload", "microbench:64", "--arch", "dab",
+                   "--preset", "tiny"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "events retained" in out
+        assert "flush #" in out
+        assert "buffer occupancy" in out
+
+    def test_trace_category_filter_validated(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--workload", "microbench:64", "--preset", "tiny",
+                  "--trace", "/tmp/x.jsonl", "--trace-categories", "bogus"])
+
+    def test_audit_trace_digest(self, capsys):
+        rc = main(["audit", "--workload", "microbench:64", "--preset",
+                   "tiny", "--seeds", "1,2", "--trace-digest"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "IDENTICAL" in out and "DIVERGED" not in out

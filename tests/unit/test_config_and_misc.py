@@ -155,10 +155,17 @@ class TestStallBreakdown:
         assert sb.issued == 1 and sb.mem == 1 and sb.token == 1
         assert sb.total == 3
 
-    def test_unknown_reason_maps_to_mem(self):
+    def test_unknown_reason_goes_to_other(self):
         sb = StallBreakdown()
         sb.record("weird")
-        assert sb.mem == 1
+        assert sb.other == 1 and sb.mem == 0
+        assert sb.total == 1
+
+    def test_unknown_reason_raises_in_strict_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STRICT_STALLS", "1")
+        sb = StallBreakdown()
+        with pytest.raises(ValueError, match="weird"):
+            sb.record("weird")
 
     def test_merge(self):
         a, b = StallBreakdown(), StallBreakdown()

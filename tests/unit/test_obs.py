@@ -1,0 +1,176 @@
+"""Unit tests for repro.obs: metrics registry, event tracer, profiler."""
+
+import math
+
+import pytest
+
+from repro.obs import ObsConfig, Observability
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.tracer import CATEGORIES, EventTracer
+
+
+class TestCounterGauge:
+    def test_counter_inc(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.as_value() == 5
+
+    def test_gauge_tracks_max(self):
+        g = Gauge("g")
+        g.set(3)
+        g.set(7)
+        g.set(2)
+        assert g.value == 2 and g.max == 7
+        assert g.as_value() == {"value": 2, "max": 7}
+
+
+class TestHistogram:
+    def test_edges_must_increase(self):
+        with pytest.raises(MetricError):
+            Histogram("h", (1, 1, 2))
+        with pytest.raises(MetricError):
+            Histogram("h", (2, 1))
+        with pytest.raises(MetricError):
+            Histogram("h", ())
+
+    def test_bucket_boundaries(self):
+        # Buckets: (-inf,0], (0,10], (10,20], (20,+inf)
+        h = Histogram("h", (0, 10, 20))
+        for v in (-5, 0, 1, 10, 11, 20, 21, 1000):
+            h.observe(v)
+        assert h.counts == [2, 2, 2, 2]
+        assert h.count == 8
+        assert h.min == -5 and h.max == 1000
+
+    def test_sum_tracked(self):
+        h = Histogram("h", (1,))
+        h.observe(2)
+        h.observe(3)
+        assert h.sum == 5
+
+    def test_as_value_shape(self):
+        h = Histogram("h", (1, 2))
+        h.observe(1)
+        d = h.as_value()
+        assert d["edges"] == [1, 2]
+        assert sum(d["counts"]) == d["count"] == 1
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.histogram("h", (1, 2)) is r.histogram("h", (1, 2))
+
+    def test_kind_collision_raises(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(MetricError):
+            r.gauge("x")
+        with pytest.raises(MetricError):
+            r.histogram("x", (1,))
+
+    def test_histogram_edge_mismatch_raises(self):
+        r = MetricsRegistry()
+        r.histogram("h", (1, 2))
+        with pytest.raises(MetricError):
+            r.histogram("h", (1, 3))
+
+    def test_as_dict_sorted_and_typed(self):
+        r = MetricsRegistry()
+        r.counter("b.n").inc(2)
+        r.gauge("a.g").set(1)
+        d = r.as_dict()
+        assert list(d) == sorted(d)
+        assert d["b.n"]["kind"] == "counter"
+        assert d["a.g"]["kind"] == "gauge"
+
+    def test_prefixed(self):
+        r = MetricsRegistry()
+        r.counter("sm.0.x")
+        r.counter("sm.1.x")
+        r.counter("partition.0.y")
+        assert set(r.prefixed("sm.")) == {"sm.0.x", "sm.1.x"}
+
+
+class TestTracer:
+    def test_ring_overflow_drops_oldest(self):
+        t = EventTracer(capacity=3)
+        for i in range(5):
+            t.emit(i, "buffer", "insert", {"i": i})
+        assert len(t) == 3
+        assert t.emitted == 5 and t.dropped == 2
+        assert [e[0] for e in t.events()] == [2, 3, 4]
+
+    def test_unbounded_capacity(self):
+        t = EventTracer(capacity=0)
+        for i in range(100):
+            t.emit(i, "flush", "begin", {})
+        assert len(t) == 100 and t.dropped == 0
+
+    def test_category_filter(self):
+        t = EventTracer(categories=("flush",))
+        t.emit(1, "buffer", "insert", {})
+        t.emit(2, "flush", "begin", {})
+        assert t.wants("flush") and not t.wants("buffer")
+        assert len(t) == 1 and t.events()[0][1] == "flush"
+
+    def test_unknown_category_filter_raises(self):
+        with pytest.raises(ValueError):
+            EventTracer(categories=("nope",))
+
+    def test_jsonl_round_trip(self, tmp_path):
+        t = EventTracer()
+        t.emit(7, "buffer", "insert", {"sm": 1, "occ": 3})
+        t.emit(9, "flush", "begin", {"seq": 1, "reason": "full"})
+        path = str(tmp_path / "trace.jsonl")
+        assert t.write_jsonl(path) == 2
+        docs = EventTracer.read_jsonl(path)
+        assert docs[0] == {"cycle": 7, "cat": "buffer", "event": "insert",
+                           "sm": 1, "occ": 3}
+        assert docs[1]["reason"] == "full"
+
+    def test_digest_depends_only_on_events(self):
+        a, b = EventTracer(), EventTracer()
+        for t in (a, b):
+            t.emit(1, "sched", "token_pass", {"sm": 0})
+        assert a.digest() == b.digest()
+        b.emit(2, "sched", "token_pass", {"sm": 1})
+        assert a.digest() != b.digest()
+
+
+class TestObservabilityHub:
+    def test_disabled_config_builds_nothing(self):
+        obs = ObsConfig()
+        assert not obs.enabled
+
+    def test_full_config_builds_everything(self):
+        hub = Observability(ObsConfig.full())
+        assert hub.metrics is not None
+        assert hub.tracer is not None
+        assert hub.profiler is not None
+
+    def test_emit_stamps_current_cycle(self):
+        hub = Observability(ObsConfig(trace=True))
+        hub.cycle = 42
+        hub.emit("buffer", "insert", sm=0)
+        assert hub.tracer.events()[0][0] == 42
+
+    def test_metric_helpers_none_when_metrics_off(self):
+        hub = Observability(ObsConfig(trace=True))
+        assert hub.counter("x") is None
+        assert hub.gauge("x") is None
+        assert hub.histogram("x", (1,)) is None
+
+    def test_categories_cover_emitters(self):
+        assert set(CATEGORIES) == {
+            "buffer", "sched", "flush", "partition", "dispatch", "kernel"
+        }

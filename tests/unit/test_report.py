@@ -1,0 +1,88 @@
+"""Edge-case tests for harness.report: geomean, pearson, Table."""
+
+import math
+
+import pytest
+
+from repro.harness.report import Table, geomean, pearson
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert math.isclose(geomean([2, 8]), 4.0)
+
+    def test_drops_non_positive_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="non-positive"):
+            v = geomean([0.0, 2, 8])
+        assert math.isclose(v, 4.0)
+
+    def test_negative_also_warns(self):
+        with pytest.warns(RuntimeWarning):
+            assert math.isclose(geomean([-1, 4]), 4.0)
+
+    def test_all_non_positive_is_zero(self):
+        with pytest.warns(RuntimeWarning):
+            assert geomean([0, -3]) == 0.0
+
+    def test_empty_is_zero_without_warning(self):
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert geomean([]) == 0.0
+
+    def test_positive_input_does_not_warn(self):
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert math.isclose(geomean([1, 1, 1]), 1.0)
+
+
+class TestPearson:
+    def test_perfect_negative(self):
+        assert math.isclose(pearson([1, 2, 3], [-2, -4, -6]), -1.0)
+
+    def test_short_series_raises(self):
+        with pytest.raises(ValueError):
+            pearson([1], [2])
+        with pytest.raises(ValueError):
+            pearson([], [])
+
+    def test_unequal_lengths_raise(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2, 3], [1, 2])
+
+    def test_zero_variance_is_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+
+class TestTable:
+    def test_empty_table_renders_header_only(self):
+        t = Table("Empty", ["a", "b"])
+        out = t.render()
+        assert "Empty" in out
+        assert "a" in out and "b" in out
+        # title, underline, header, separator — and nothing else
+        assert len(out.splitlines()) == 4
+
+    def test_wide_cells_stretch_columns(self):
+        t = Table("W", ["col"])
+        t.add_row("a-very-wide-cell-value")
+        lines = t.render().splitlines()
+        header, sep, row = lines[2], lines[3], lines[4]
+        assert len(header) == len(sep) == len(row)
+        assert "a-very-wide-cell-value" in row
+
+    def test_float_formatting(self):
+        t = Table("F", ["x"])
+        t.add_row(0.0)
+        t.add_row(1234.5678)
+        t.add_row(0.25)
+        rows = t.render().splitlines()[4:]
+        assert rows[0].strip() == "0"
+        assert "1.23e+03" in rows[1] or "1230" in rows[1]
+        assert rows[2].strip() == "0.25"
+
+    def test_row_width_mismatch_raises(self):
+        t = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
