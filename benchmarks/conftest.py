@@ -42,6 +42,34 @@ def run_once(benchmark, fn, *args, **kwargs):
                               rounds=1, iterations=1, warmup_rounds=0)
 
 
+def pytest_addoption(parser):
+    group = parser.getgroup("sweep", "sweep-engine execution")
+    group.addoption("--jobs", type=int, default=None, metavar="N",
+                    help="worker processes for experiment sweeps "
+                         "(default: all CPUs; 1 = in-process)")
+    group.addoption("--no-cache", action="store_true",
+                    help="bypass the content-addressed result cache")
+    group.addoption("--cache-dir", default=None, metavar="DIR",
+                    help="result-cache directory "
+                         "(default: benchmarks/results/cache)")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sweep_config(request):
+    """Point the sweep engine at the pytest command-line knobs."""
+    from repro.harness import sweep
+
+    jobs = request.config.getoption("--jobs")
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    with sweep.configured(
+        jobs=jobs,
+        cache=not request.config.getoption("--no-cache"),
+        cache_dir=request.config.getoption("--cache-dir"),
+    ):
+        yield
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _results_dir():
     RESULTS_DIR.mkdir(exist_ok=True)

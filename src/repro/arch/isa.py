@@ -90,6 +90,30 @@ class Instr:
     reconv_pc: int = -1                # immediate post-dominator (branches)
     pc: int = -1
     op_class: OpClass = OpClass.ALU
+    #: decoded-opcode cache, filled once at construction (opcodes never
+    #: change after assembly) so the interpreter hot path never
+    #: re-splits the opcode string per dynamic instruction:
+    #: ``parts``  — opcode split on '.';
+    #: ``root``   — parts[0] (the ALU/memory dispatch key);
+    #: ``dtype``  — parts[-1] (memory-op element type);
+    #: ``alu_dtype`` — parts[-1] when it names an ALU type, else None;
+    #: ``op_suffix`` — '.'.join(parts[2:]) (red/atom function name).
+    parts: Tuple[str, ...] = field(init=False, repr=False, compare=False,
+                                   default=())
+    root: str = field(init=False, repr=False, compare=False, default="")
+    dtype: str = field(init=False, repr=False, compare=False, default="")
+    alu_dtype: Optional[str] = field(init=False, repr=False, compare=False,
+                                     default=None)
+    op_suffix: str = field(init=False, repr=False, compare=False, default="")
+
+    def __post_init__(self) -> None:
+        parts = tuple(self.opcode.split("."))
+        self.parts = parts
+        self.root = parts[0]
+        self.dtype = parts[-1]
+        if parts[-1] in ("s32", "u32", "b32", "f32", "s64", "pred"):
+            self.alu_dtype = parts[-1]
+        self.op_suffix = ".".join(parts[2:])
 
     @property
     def is_atomic(self) -> bool:

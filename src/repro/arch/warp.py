@@ -152,7 +152,7 @@ class Warp:
         """Next instruction to issue (None once the warp has finished)."""
         if self.done:
             return None
-        return self.program[self.stack.pc]
+        return self.program.instrs[self.stack.pc]
 
     def next_is_atomic(self) -> bool:
         """Used by determinism-aware schedulers (GTRR/GTAR/GWAT)."""
@@ -183,9 +183,8 @@ class Warp:
             n, pc, ops = self._red_cache
             if n == self.dyn_instrs and pc == self.stack.pc:
                 return ops
-        parts = ins.opcode.split(".")
-        dtype = parts[-1]
-        op_suffix = ".".join(parts[2:])
+        dtype = ins.dtype
+        op_suffix = ins.op_suffix
         mask = self._effective_mask(ins)
         lane_ids = np.nonzero(mask)[0]
         addrs = self._mem_addresses(ins)
@@ -244,7 +243,7 @@ class Warp:
         """Execute one instruction functionally; advance the SIMT stack."""
         if self.done:
             raise RuntimeError("step() on a finished warp")
-        ins = self.program[self.stack.pc]
+        ins = self.program.instrs[self.stack.pc]
         mask = self._effective_mask(ins)
         active = int(mask.sum())
         self.dyn_instrs += 1
@@ -297,8 +296,7 @@ class Warp:
             return StepResult(ins, oc, active)
 
         # Memory operations.
-        parts = ins.opcode.split(".")
-        dtype = parts[-1]
+        dtype = ins.dtype
         addrs = self._mem_addresses(ins)
         lane_ids = np.nonzero(mask)[0]
         act_addrs = addrs[lane_ids]
@@ -315,7 +313,7 @@ class Warp:
             mem.store_many(act_addrs, vals[lane_ids])
             spec = MemRequestSpec(kind="store", sectors=sectors)
         elif oc is OpClass.MEM_RED:
-            op_suffix = ".".join(parts[2:])  # e.g. "add.f32"
+            op_suffix = ins.op_suffix  # e.g. "add.f32"
             vals = self._read(ins.srcs[0], dtype)
             red_ops = tuple(
                 AtomicOp(int(addrs[l]), op_suffix, (_scalar(vals[l]),))
@@ -324,8 +322,8 @@ class Warp:
             self.dyn_atomics += 1
             spec = MemRequestSpec(kind="red", sectors=sectors, red_ops=red_ops)
         else:  # MEM_ATOM
-            op_suffix = ".".join(parts[2:])
-            atom_root = parts[2]
+            op_suffix = ins.op_suffix
+            atom_root = ins.parts[2]
             if atom_root == "cas":
                 cmp_v = self._read(ins.srcs[0], dtype)
                 val_v = self._read(ins.srcs[1], dtype)
@@ -375,9 +373,9 @@ class Warp:
 
     # ------------------------------------------------------------------
     def _exec_alu(self, ins: Instr, mask: np.ndarray) -> None:
-        parts = ins.opcode.split(".")
-        root = parts[0]
-        dtype = parts[-1] if parts[-1] in ("s32", "u32", "b32", "f32", "s64", "pred") else None
+        parts = ins.parts
+        root = ins.root
+        dtype = ins.alu_dtype
 
         if root == "mov":
             src = self._read(ins.srcs[0], dtype)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Callable, Dict, Optional
 
@@ -31,7 +32,9 @@ from repro.config import GPUConfig
 from repro.core.dab import BufferLevel, DABConfig
 from repro.gpudet.gpudet import GPUDetConfig
 from repro.harness import experiments as experiments_mod
+from repro.harness import sweep
 from repro.harness.runner import ArchSpec, run_workload
+from repro.harness.sweep import JobSpec, WorkloadRef, run_jobs
 from repro.obs import CATEGORIES, ObsConfig
 from repro.obs.views import (
     render_buffer_occupancy,
@@ -98,6 +101,29 @@ def parse_workload(spec: str) -> Callable:
         return lambda: build_order_sensitive(n)
     if family == "lock":
         return lambda: build_lock_sum(variant or "tts", 64)
+    raise SystemExit(
+        f"unknown workload {spec!r}; see `python -m repro list`"
+    )
+
+
+def parse_workload_ref(spec: str) -> WorkloadRef:
+    """``family[:variant]`` -> picklable WorkloadRef (sweep-engine jobs)."""
+    family, _, variant = spec.partition(":")
+    if family == "bc":
+        return WorkloadRef("bc", (variant or "FA", 0))
+    if family == "pagerank":
+        return WorkloadRef("pagerank", (variant or "coA", 0))
+    if family == "sssp":
+        return WorkloadRef("sssp", (variant or "FA", 0))
+    if family == "conv":
+        return WorkloadRef("conv", (variant or "cnv2_1",))
+    if family == "microbench":
+        return WorkloadRef("atomic_sum", (int(variant) if variant else 1024,))
+    if family == "order-sensitive":
+        return WorkloadRef("order_sensitive",
+                           (int(variant) if variant else 512,))
+    if family == "lock":
+        return WorkloadRef("lock_sum", (variant or "tts", 64))
     raise SystemExit(
         f"unknown workload {spec!r}; see `python -m repro list`"
     )
@@ -218,21 +244,30 @@ def cmd_trace(args) -> int:
 
 
 def cmd_audit(args) -> int:
-    factory = parse_workload(args.workload)
+    ref = parse_workload_ref(args.workload)
     config = PRESETS[args.preset]()
     seeds = [int(s) for s in args.seeds.split(",")]
+    jobs = getattr(args, "jobs", 1)
     obs = ObsConfig(trace=True, trace_capacity=0) if args.trace_digest else None
+    if obs is not None and jobs and jobs > 1:
+        # Observability hubs hold live tracer state and aren't picklable;
+        # traced audits must run in-process (DESIGN.md §9).
+        raise SystemExit("--trace-digest requires --jobs 1 "
+                         "(traces are collected in-process)")
     print(f"Determinism audit of {args.workload!r} over seeds {seeds}:")
     ok = True
-    for label, arch in (
+    arch_list = (
         ("baseline", ArchSpec.baseline()),
         ("DAB", ArchSpec.make_dab()),
         ("GPUDet", ArchSpec.make_gpudet()),
-    ):
-        results = [
-            run_workload(factory, arch, gpu_config=config, seed=s, obs=obs)
-            for s in seeds
-        ]
+    )
+    # One job per (arch, seed); the audit always re-simulates (no cache —
+    # a determinism check that replays stored results would be vacuous).
+    specs = [JobSpec(ref, arch, gpu=config, seed=s)
+             for _label, arch in arch_list for s in seeds]
+    all_results = run_jobs(specs, jobs=jobs, cache=False, obs=obs)
+    for i, (label, arch) in enumerate(arch_list):
+        results = all_results[i * len(seeds):(i + 1) * len(seeds)]
         digests = {r.extra["output_digest"] for r in results}
         det = len(digests) == 1
         if label != "baseline":
@@ -244,7 +279,7 @@ def cmd_audit(args) -> int:
             # (timing is allowed to vary); the determinism claim audited
             # here is *repeatability* — the same seed must reproduce the
             # trace bit-for-bit.
-            repeat = run_workload(factory, arch, gpu_config=config,
+            repeat = run_workload(ref, arch, gpu_config=config,
                                   seed=seeds[0], obs=obs)
             same = (repeat.obs.tracer.digest()
                     == results[0].obs.tracer.digest())
@@ -267,7 +302,10 @@ def cmd_experiment(args) -> int:
     kwargs = {}
     if args.quick and "quick" in fn.__code__.co_varnames:
         kwargs["quick"] = True
-    print(fn(**kwargs))
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    with sweep.configured(jobs=jobs, cache=not args.no_cache,
+                          cache_dir=args.cache_dir):
+        print(fn(**kwargs))
     return 0
 
 
@@ -342,11 +380,22 @@ def build_parser() -> argparse.ArgumentParser:
     audit_p.add_argument("--trace-digest", action="store_true",
                          help="also audit trace-file repeatability "
                               "(same seed -> bitwise-identical JSONL)")
+    audit_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for the seed sweep "
+                              "(incompatible with --trace-digest)")
     audit_p.set_defaults(fn=cmd_audit)
 
     exp_p = sub.add_parser("experiment", help="regenerate one table/figure")
     exp_p.add_argument("name")
     exp_p.add_argument("--quick", action="store_true")
+    exp_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes (default: all CPUs; "
+                            "1 = run in-process)")
+    exp_p.add_argument("--no-cache", action="store_true",
+                       help="skip the content-addressed result cache")
+    exp_p.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="result-cache directory "
+                            "(default: benchmarks/results/cache)")
     exp_p.set_defaults(fn=cmd_experiment)
 
     list_p = sub.add_parser("list", help="list workloads and experiments")

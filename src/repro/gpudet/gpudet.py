@@ -188,6 +188,7 @@ class GPUDetController:
         self.mode_cycles[COMMIT] += now - self._mode_started
         self.mode = SERIAL
         self._mode_started = now
+        self.gpu._wake_dirty = True  # serial steps advance warp state
         t = now
 
         # Serial mode: warps stopped at an atomic run it one warp at a
@@ -232,6 +233,7 @@ class GPUDetController:
         self.mode_cycles[SERIAL] += now - self._mode_started
         self.mode = PARALLEL
         self._mode_started = now
+        self.gpu._wake_dirty = True  # barrier releases + ready bumps below
         # New quantum: reset budgets and reasons; release arrived barriers
         # (their stores are now committed and visible).
         for uid in self._quantum_used:

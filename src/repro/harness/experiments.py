@@ -4,6 +4,13 @@ Every function returns a :class:`repro.harness.report.Table` (or a dict
 of tables) ready to print, plus raw data in ``table.data`` for tests.
 ``quick=True`` shrinks workload sets so the full suite stays test-sized.
 
+Execution goes through the sweep engine (DESIGN.md §9): each experiment
+first *enumerates* its simulations as picklable :class:`JobSpec`s, then
+hands the whole list to :func:`repro.harness.sweep.run_jobs`, which
+parallelizes and caches them.  Results come back in submission order,
+so the assembled tables are byte-identical no matter how many worker
+processes ran the sweep.
+
 Scaling discipline: all workloads run at the recorded reduced scales of
 ``repro.workloads`` on the ``GPUConfig.small()`` machine (8 SMs / 4
 partitions); the reproduction target is the *shape* of each result —
@@ -13,26 +20,22 @@ cycle counts (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from functools import partial
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.config import GPUConfig
 from repro.core.dab import BufferLevel, DABConfig
 from repro.fp.decimal_toy import figure1_example
 from repro.harness.hwmodel import analytic_hw_ipc, correlation_and_error
 from repro.harness.report import Table, geomean
-from repro.harness.runner import ArchSpec, run_workload
-from repro.sim.results import SimResult
-from repro.workloads.bc import build_bc
-from repro.workloads.convolution import CONV_LAYER_NAMES, RESNET_LAYERS, build_conv
+from repro.harness.runner import ArchSpec
+from repro.harness.sweep import JobSpec, WorkloadRef, run_jobs
+from repro.workloads.convolution import CONV_LAYER_NAMES, RESNET_LAYERS
 from repro.workloads.graphs import TABLE2_GRAPHS, generate
-from repro.workloads.locks import LOCK_ALGORITHMS, build_lock_sum
-from repro.workloads.microbench import build_atomic_sum, build_order_sensitive
-from repro.workloads.pagerank import build_pagerank
+from repro.workloads.locks import LOCK_ALGORITHMS
 
 # ----------------------------------------------------------------------
-# Standard workload sets (name, factory).  Scales are chosen so one run
-# completes in roughly a second on the small machine.
+# Standard workload sets (name, WorkloadRef).  Scales are chosen so one
+# run completes in roughly a second on the small machine.
 # ----------------------------------------------------------------------
 
 GRAPH_SCALES: Dict[str, int] = {
@@ -41,31 +44,25 @@ GRAPH_SCALES: Dict[str, int] = {
 }
 
 
-def graph_workloads(quick: bool = False) -> List[Tuple[str, object]]:
+def graph_workloads(quick: bool = False) -> List[Tuple[str, WorkloadRef]]:
     names = ["1k", "FA"] if quick else ["1k", "2k", "FA", "fol", "ama", "CNR"]
-    out: List[Tuple[str, object]] = [
-        (f"BC {n}", partial(build_bc, n, GRAPH_SCALES[n])) for n in names
+    out: List[Tuple[str, WorkloadRef]] = [
+        (f"BC {n}", WorkloadRef("bc", (n, GRAPH_SCALES[n]))) for n in names
     ]
     out.append(
-        ("PRK coA", partial(build_pagerank, "coA", GRAPH_SCALES["coA"],
-                            iterations=1 if quick else 2))
+        ("PRK coA", WorkloadRef("pagerank", ("coA", GRAPH_SCALES["coA"]),
+                                {"iterations": 1 if quick else 2}))
     )
     return out
 
 
-def conv_workloads(quick: bool = False) -> List[Tuple[str, object]]:
+def conv_workloads(quick: bool = False) -> List[Tuple[str, WorkloadRef]]:
     names = ["cnv2_1", "cnv2_2"] if quick else list(CONV_LAYER_NAMES)
-    return [(n, partial(build_conv, n)) for n in names]
+    return [(n, WorkloadRef("conv", (n,))) for n in names]
 
 
-def all_workloads(quick: bool = False) -> List[Tuple[str, object]]:
+def all_workloads(quick: bool = False) -> List[Tuple[str, WorkloadRef]]:
     return graph_workloads(quick) + conv_workloads(quick)
-
-
-def _run(factory, arch: ArchSpec, config: Optional[GPUConfig] = None,
-         seed: int = 1) -> SimResult:
-    return run_workload(factory, arch, gpu_config=config or GPUConfig.small(),
-                        seed=seed)
 
 
 # ----------------------------------------------------------------------
@@ -96,14 +93,23 @@ def fig02_locks(sizes: Sequence[int] = (32, 64, 128), quick: bool = False) -> Ta
         "normalized to baseline atomicAdd",
         ["array size", "atomicAdd", "DAB atomicAdd"] + list(LOCK_ALGORITHMS),
     )
-    data: Dict[int, Dict[str, float]] = {}
+    specs = []
     for n in sizes:
-        base = _run(partial(build_atomic_sum, n), ArchSpec.baseline())
-        dab = _run(partial(build_atomic_sum, n), ArchSpec.make_dab())
+        wl = WorkloadRef("atomic_sum", (n,))
+        specs.append(JobSpec(wl, ArchSpec.baseline()))
+        specs.append(JobSpec(wl, ArchSpec.make_dab()))
+        specs.extend(
+            JobSpec(WorkloadRef("lock_sum", (alg, n)), ArchSpec.baseline())
+            for alg in LOCK_ALGORITHMS
+        )
+    results = run_jobs(specs)
+    per_row = 2 + len(LOCK_ALGORITHMS)
+    data: Dict[int, Dict[str, float]] = {}
+    for i, n in enumerate(sizes):
+        base, dab, *locks = results[i * per_row:(i + 1) * per_row]
         row: Dict[str, float] = {"atomicAdd": 1.0,
                                  "DAB atomicAdd": dab.cycles / base.cycles}
-        for alg in LOCK_ALGORITHMS:
-            res = _run(partial(build_lock_sum, alg, n), ArchSpec.baseline())
+        for alg, res in zip(LOCK_ALGORITHMS, locks):
             row[alg] = res.cycles / base.cycles
         data[n] = row
         t.add_row(n, 1.0, row["DAB atomicAdd"], *(row[a] for a in LOCK_ALGORITHMS))
@@ -122,10 +128,14 @@ def fig03_gpudet_modes(quick: bool = False) -> Table:
         "and slowdown vs baseline",
         ["workload", "parallel", "commit", "serial", "slowdown"],
     )
+    specs = []
+    for _name, wl in workloads:
+        specs.append(JobSpec(wl, ArchSpec.baseline()))
+        specs.append(JobSpec(wl, ArchSpec.make_gpudet()))
+    results = run_jobs(specs)
     data = {}
-    for name, factory in workloads:
-        base = _run(factory, ArchSpec.baseline())
-        det = _run(factory, ArchSpec.make_gpudet())
+    for i, (name, _wl) in enumerate(workloads):
+        base, det = results[2 * i], results[2 * i + 1]
         total = max(1, sum(det.gpudet_mode_cycles.values()))
         fr = {m: det.gpudet_mode_cycles.get(m, 0) / total
               for m in ("parallel", "commit", "serial")}
@@ -160,16 +170,19 @@ def table2_graphs(quick: bool = False) -> Table:
          "sim nodes", "sim edges", "sim PKI"],
     )
     names = ["1k", "FA"] if quick else list(TABLE2_GRAPHS)
-    data = {}
+    specs = []
     for name in names:
-        spec = TABLE2_GRAPHS[name]
         scale = GRAPH_SCALES[name]
-        g = generate(name, scale)
         if name == "coA":
-            res = _run(partial(build_pagerank, name, scale, iterations=2),
-                       ArchSpec.baseline())
+            wl = WorkloadRef("pagerank", (name, scale), {"iterations": 2})
         else:
-            res = _run(partial(build_bc, name, scale), ArchSpec.baseline())
+            wl = WorkloadRef("bc", (name, scale))
+        specs.append(JobSpec(wl, ArchSpec.baseline()))
+    results = run_jobs(specs)
+    data = {}
+    for name, res in zip(names, results):
+        spec = TABLE2_GRAPHS[name]
+        g = generate(name, GRAPH_SCALES[name])
         pki = res.atomics_per_kilo_instr
         data[name] = {"sim_nodes": g.num_nodes, "sim_edges": g.num_edges,
                       "sim_pki": pki, "paper_pki": spec.paper_atomics_pki}
@@ -187,10 +200,13 @@ def table3_layers(quick: bool = False) -> Table:
          "regions", "CTAs", "sim PKI"],
     )
     names = ["cnv2_1", "cnv2_2"] if quick else list(CONV_LAYER_NAMES)
+    results = run_jobs(
+        JobSpec(WorkloadRef("conv", (name,)), ArchSpec.baseline())
+        for name in names
+    )
     data = {}
-    for name in names:
+    for name, res in zip(names, results):
         cfg = RESNET_LAYERS[name]
-        res = _run(partial(build_conv, name), ArchSpec.baseline())
         pki = res.atomics_per_kilo_instr
         data[name] = {"sim_pki": pki, "paper_pki": cfg.paper_atomics_pki}
         t.add_row(name, cfg.paper_filter, cfg.paper_atomics_pki,
@@ -211,8 +227,9 @@ def fig09_correlation(quick: bool = False) -> Table:
         "Fig 9: simulator IPC vs hardware-model IPC (stand-in; see DESIGN.md)",
         ["workload", "sim IPC", "hw-model IPC"],
     )
-    for name, factory in all_workloads(quick):
-        res = _run(factory, ArchSpec.baseline(), cfg)
+    workloads = all_workloads(quick)
+    results = run_jobs(JobSpec(wl, ArchSpec.baseline()) for _n, wl in workloads)
+    for (name, _wl), res in zip(workloads, results):
         hw = analytic_hw_ipc(res, cfg)
         sims.append(res.ipc)
         hws.append(hw)
@@ -235,11 +252,14 @@ def fig10_overall(quick: bool = False) -> Table:
         "normalized to the non-deterministic baseline (lower is better)",
         ["workload", "baseline", "DAB", "GPUDet"],
     )
+    workloads = all_workloads(quick)
+    archs = (ArchSpec.baseline(), ArchSpec.make_dab(), ArchSpec.make_gpudet())
+    results = run_jobs(
+        JobSpec(wl, arch) for _n, wl in workloads for arch in archs
+    )
     data = {}
-    for name, factory in all_workloads(quick):
-        base = _run(factory, ArchSpec.baseline())
-        dab = _run(factory, ArchSpec.make_dab())
-        det = _run(factory, ArchSpec.make_gpudet())
+    for i, (name, _wl) in enumerate(workloads):
+        base, dab, det = results[3 * i:3 * i + 3]
         row = {"DAB": dab.cycles / base.cycles,
                "GPUDet": det.cycles / base.cycles}
         data[name] = row
@@ -277,20 +297,27 @@ def fig11_schedulers(quick: bool = False, entries: int = 256) -> Table:
         "buffers, narrow machine), normalized to baseline",
         ["workload"] + [v[0] for v in variants],
     )
-    data = {}
     # The narrow machine is slow to simulate (everything serializes onto
     # two SMs); use one representative per workload class.
     if quick:
         selected = all_workloads(True)
     else:
         picks = {"BC 1k", "BC FA", "PRK coA", "cnv2_1", "cnv2_2", "cnv3_3"}
-        selected = [(n, f) for n, f in all_workloads(False) if n in picks]
-    for name, factory in selected:
-        base = _run(factory, ArchSpec.baseline(), cfg_gpu)
-        row = {}
-        for label, cfg in variants:
-            res = _run(factory, ArchSpec.make_dab(cfg, label=label), cfg_gpu)
-            row[label] = res.cycles / base.cycles
+        selected = [(n, wl) for n, wl in all_workloads(False) if n in picks]
+    specs = []
+    for _name, wl in selected:
+        specs.append(JobSpec(wl, ArchSpec.baseline(), gpu=cfg_gpu))
+        specs.extend(
+            JobSpec(wl, ArchSpec.make_dab(cfg, label=label), gpu=cfg_gpu)
+            for label, cfg in variants
+        )
+    results = run_jobs(specs)
+    per_row = 1 + len(variants)
+    data = {}
+    for i, (name, _wl) in enumerate(selected):
+        base, *rest = results[i * per_row:(i + 1) * per_row]
+        row = {label: res.cycles / base.cycles
+               for (label, _cfg), res in zip(variants, rest)}
         data[name] = row
         t.add_row(name, *(row[v[0]] for v in variants))
     t.data = data  # type: ignore[attr-defined]
@@ -307,14 +334,22 @@ def fig12_capacity(quick: bool = False,
         "Fig 12: GWAT buffer capacity sweep, normalized to baseline",
         ["workload"] + [f"GWAT-{c}" for c in capacities],
     )
+    workloads = all_workloads(quick)
+    specs = []
+    for _name, wl in workloads:
+        specs.append(JobSpec(wl, ArchSpec.baseline()))
+        specs.extend(
+            JobSpec(wl, ArchSpec.make_dab(
+                DABConfig(buffer_entries=cap, scheduler="gwat")))
+            for cap in capacities
+        )
+    results = run_jobs(specs)
+    per_row = 1 + len(capacities)
     data = {}
-    for name, factory in all_workloads(quick):
-        base = _run(factory, ArchSpec.baseline())
-        row = {}
-        for cap in capacities:
-            cfg = DABConfig(buffer_entries=cap, scheduler="gwat")
-            res = _run(factory, ArchSpec.make_dab(cfg))
-            row[cap] = res.cycles / base.cycles
+    for i, (name, _wl) in enumerate(workloads):
+        base, *rest = results[i * per_row:(i + 1) * per_row]
+        row = {cap: res.cycles / base.cycles
+               for cap, res in zip(capacities, rest)}
         data[name] = row
         t.add_row(name, *(row[c] for c in capacities))
     t.data = data  # type: ignore[attr-defined]
@@ -332,20 +367,28 @@ def fig13_fusion(quick: bool = False,
         cols += [f"GWAT-{c}", f"GWAT-{c}-AF"]
     t = Table("Fig 13: atomic fusion on scheduler-level buffering, "
               "normalized to baseline", ["workload"] + cols)
+    workloads = all_workloads(quick)
+    combos = [(cap, fusion) for cap in capacities for fusion in (False, True)]
+    specs = []
+    for _name, wl in workloads:
+        specs.append(JobSpec(wl, ArchSpec.baseline()))
+        specs.extend(
+            JobSpec(wl, ArchSpec.make_dab(
+                DABConfig(buffer_entries=cap, scheduler="gwat", fusion=fusion)))
+            for cap, fusion in combos
+        )
+    results = run_jobs(specs)
+    per_row = 1 + len(combos)
     data = {}
-    for name, factory in all_workloads(quick):
-        base = _run(factory, ArchSpec.baseline())
+    for i, (name, _wl) in enumerate(workloads):
+        base, *rest = results[i * per_row:(i + 1) * per_row]
         row = {}
         cells = []
-        for cap in capacities:
-            for fusion in (False, True):
-                cfg = DABConfig(buffer_entries=cap, scheduler="gwat",
-                                fusion=fusion)
-                res = _run(factory, ArchSpec.make_dab(cfg))
-                key = f"GWAT-{cap}{'-AF' if fusion else ''}"
-                row[key] = res.cycles / base.cycles
-                row[key + "_fused"] = res.fused_atomics
-                cells.append(row[key])
+        for (cap, fusion), res in zip(combos, rest):
+            key = f"GWAT-{cap}{'-AF' if fusion else ''}"
+            row[key] = res.cycles / base.cycles
+            row[key + "_fused"] = res.fused_atomics
+            cells.append(row[key])
         data[name] = row
         t.add_row(name, *cells)
     t.data = data  # type: ignore[attr-defined]
@@ -367,12 +410,16 @@ def fig14_gating(quick: bool = False) -> Table:
         ["layer", f"{full.num_sms} SMs", f"{gated.num_sms} SMs (gated)",
          "fused (full)", "fused (gated)"],
     )
-    data = {}
+    specs = []
     for layer in layers:
-        factory = partial(build_conv, layer)
-        base = _run(factory, ArchSpec.baseline(), full)
-        res_full = _run(factory, ArchSpec.make_dab(cfg), full)
-        res_gated = _run(factory, ArchSpec.make_dab(cfg), gated)
+        wl = WorkloadRef("conv", (layer,))
+        specs.append(JobSpec(wl, ArchSpec.baseline(), gpu=full))
+        specs.append(JobSpec(wl, ArchSpec.make_dab(cfg), gpu=full))
+        specs.append(JobSpec(wl, ArchSpec.make_dab(cfg), gpu=gated))
+    results = run_jobs(specs)
+    data = {}
+    for i, layer in enumerate(layers):
+        base, res_full, res_gated = results[3 * i:3 * i + 3]
         row = {
             "full": res_full.cycles / base.cycles,
             "gated": res_gated.cycles / base.cycles,
@@ -398,9 +445,12 @@ def fig15_overheads(quick: bool = False) -> Table:
         "(fraction of slots)",
         ["workload"] + list(buckets),
     )
+    workloads = all_workloads(quick)
+    results = run_jobs(
+        JobSpec(wl, ArchSpec.make_dab()) for _n, wl in workloads
+    )
     data = {}
-    for name, factory in all_workloads(quick):
-        res = _run(factory, ArchSpec.make_dab())
+    for (name, _wl), res in zip(workloads, results):
         d = res.stalls.as_dict()
         total = max(1, res.stalls.total)
         fr = {k: d[k] / total for k in buckets}
@@ -420,15 +470,19 @@ def fig16_offset(quick: bool = False) -> Table:
         "Fig 16: offset flushing on GWAT-64-AF, normalized to baseline",
         ["layer", "GWAT-64-AF", "GWAT-64-AF + offset"],
     )
-    data = {}
+    plain = DABConfig(buffer_entries=64, scheduler="gwat", fusion=True)
+    offset = DABConfig(buffer_entries=64, scheduler="gwat", fusion=True,
+                       offset_flush=True)
+    specs = []
     for layer in layers:
-        factory = partial(build_conv, layer)
-        base = _run(factory, ArchSpec.baseline())
-        plain = DABConfig(buffer_entries=64, scheduler="gwat", fusion=True)
-        offset = DABConfig(buffer_entries=64, scheduler="gwat", fusion=True,
-                           offset_flush=True)
-        r0 = _run(factory, ArchSpec.make_dab(plain))
-        r1 = _run(factory, ArchSpec.make_dab(offset))
+        wl = WorkloadRef("conv", (layer,))
+        specs.append(JobSpec(wl, ArchSpec.baseline()))
+        specs.append(JobSpec(wl, ArchSpec.make_dab(plain)))
+        specs.append(JobSpec(wl, ArchSpec.make_dab(offset)))
+    results = run_jobs(specs)
+    data = {}
+    for i, layer in enumerate(layers):
+        base, r0, r1 = results[3 * i:3 * i + 3]
         row = {"plain": r0.cycles / base.cycles,
                "offset": r1.cycles / base.cycles}
         data[layer] = row
@@ -447,14 +501,19 @@ def fig17_coalescing(quick: bool = False) -> Table:
         "normalized to baseline",
         ["layer", "GWAT-64-AF", "GWAT-64-AF-Coal", "icnt packets", "packets w/ coal"],
     )
+    plain = DABConfig(buffer_entries=64, scheduler="gwat", fusion=True)
+    coal = DABConfig(buffer_entries=64, scheduler="gwat", fusion=True,
+                     coalescing=True)
+    workloads = conv_workloads(quick)
+    specs = []
+    for _name, wl in workloads:
+        specs.append(JobSpec(wl, ArchSpec.baseline()))
+        specs.append(JobSpec(wl, ArchSpec.make_dab(plain)))
+        specs.append(JobSpec(wl, ArchSpec.make_dab(coal)))
+    results = run_jobs(specs)
     data = {}
-    for name, factory in conv_workloads(quick):
-        base = _run(factory, ArchSpec.baseline())
-        plain = DABConfig(buffer_entries=64, scheduler="gwat", fusion=True)
-        coal = DABConfig(buffer_entries=64, scheduler="gwat", fusion=True,
-                         coalescing=True)
-        r0 = _run(factory, ArchSpec.make_dab(plain))
-        r1 = _run(factory, ArchSpec.make_dab(coal))
+    for i, (name, _wl) in enumerate(workloads):
+        base, r0, r1 = results[3 * i:3 * i + 3]
         row = {"plain": r0.cycles / base.cycles,
                "coal": r1.cycles / base.cycles,
                "pkts_plain": r0.icnt_packets, "pkts_coal": r1.icnt_packets}
@@ -493,13 +552,20 @@ def fig18_relaxed(quick: bool = False) -> Table:
         "normalized to baseline",
         ["workload"] + [v[0] for v in variants],
     )
+    specs = []
+    for _name, wl in names:
+        specs.append(JobSpec(wl, ArchSpec.baseline()))
+        specs.extend(
+            JobSpec(wl, ArchSpec.make_dab(cfg, label=label))
+            for label, cfg in variants
+        )
+    results = run_jobs(specs)
+    per_row = 1 + len(variants)
     data = {}
-    for name, factory in names:
-        base = _run(factory, ArchSpec.baseline())
-        row = {}
-        for label, cfg in variants:
-            res = _run(factory, ArchSpec.make_dab(cfg, label=label))
-            row[label] = res.cycles / base.cycles
+    for i, (name, _wl) in enumerate(names):
+        base, *rest = results[i * per_row:(i + 1) * per_row]
+        row = {label: res.cycles / base.cycles
+               for (label, _cfg), res in zip(variants, rest)}
         data[name] = row
         t.add_row(name, *(row[v[0]] for v in variants))
     t.data = data  # type: ignore[attr-defined]
@@ -513,7 +579,6 @@ def fig18_relaxed(quick: bool = False) -> Table:
 def ablation_buffer_level(quick: bool = False) -> Table:
     """Paper VI-A: "Scheduler-level buffering performs similarly to
     warp-level buffering but could reduce area overhead up to 16x"."""
-    gpu_cfg = GPUConfig.small()
     warp = DABConfig(buffer_level=BufferLevel.WARP, buffer_entries=32,
                      scheduler="gto")
     sched = DABConfig(buffer_entries=32, scheduler="gwat")
@@ -531,10 +596,15 @@ def ablation_buffer_level(quick: bool = False) -> Table:
             "scheduler-level": sched.area_bytes_per_sm(paper_cfg),
         }
     }
-    for name, factory in all_workloads(quick):
-        base = _run(factory, ArchSpec.baseline(), gpu_cfg)
-        rw = _run(factory, ArchSpec.make_dab(warp), gpu_cfg)
-        rs = _run(factory, ArchSpec.make_dab(sched), gpu_cfg)
+    workloads = all_workloads(quick)
+    specs = []
+    for _name, wl in workloads:
+        specs.append(JobSpec(wl, ArchSpec.baseline()))
+        specs.append(JobSpec(wl, ArchSpec.make_dab(warp)))
+        specs.append(JobSpec(wl, ArchSpec.make_dab(sched)))
+    results = run_jobs(specs)
+    for i, (name, _wl) in enumerate(workloads):
+        base, rw, rs = results[3 * i:3 * i + 3]
         row = {"warp-level": rw.cycles / base.cycles,
                "scheduler-level": rs.cycles / base.cycles}
         data[name] = row
@@ -552,20 +622,23 @@ def ablation_buffer_level(quick: bool = False) -> Table:
 def determinism_validation(seeds: Sequence[int] = (1, 2, 3, 4, 5)) -> Table:
     # Heavy jitter + a large order-sensitive reduction: enough timing
     # perturbation that the baseline visibly scrambles its f32 result.
-    factory = partial(build_order_sensitive, 2048)
+    # The whole (arch x seed) matrix goes through the sweep engine as
+    # one job list, so the five-seed audit parallelizes too.
+    wl = WorkloadRef("order_sensitive", (2048,))
     t = Table(
         "Section V validation: bitwise output digests across jitter seeds",
         ["architecture", "distinct digests", "deterministic"],
     )
+    archs = (ArchSpec.baseline(), ArchSpec.make_dab(), ArchSpec.make_gpudet())
+    results = run_jobs(
+        JobSpec(wl, arch, seed=s, jitter_dram=48, jitter_icnt=24)
+        for arch in archs for s in seeds
+    )
     data = {}
-    for arch in (ArchSpec.baseline(), ArchSpec.make_dab(),
-                 ArchSpec.make_gpudet()):
-        digests = {
-            run_workload(factory, arch, gpu_config=GPUConfig.small(),
-                         seed=s, jitter_dram=48,
-                         jitter_icnt=24).extra["output_digest"]
-            for s in seeds
-        }
+    n = len(list(seeds))
+    for i, arch in enumerate(archs):
+        digests = {r.extra["output_digest"]
+                   for r in results[i * n:(i + 1) * n]}
         det = len(digests) == 1
         data[arch.label] = {"distinct": len(digests), "deterministic": det}
         t.add_row(arch.label, len(digests), det)

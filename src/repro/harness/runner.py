@@ -78,10 +78,8 @@ def run_workload(
         jitter=JitterSource(seed, dram_max=jitter_dram, icnt_max=jitter_icnt)
         if jitter else None,
         obs=obs,
+        max_cycles=max_cycles,
     )
-    if max_cycles is not None:
-        original_run = gpu.run
-        gpu.run = lambda mc=max_cycles: original_run(max_cycles=mc)  # type: ignore[method-assign]
     result = workload.drive(gpu)
     result.label = arch.label
     result.extra["output_digest"] = workload.output_digest()

@@ -1,0 +1,488 @@
+"""Parallel sweep engine with content-addressed result caching.
+
+Every table/figure is a *sweep*: a list of independent (workload,
+architecture, machine, seed) simulations whose results are assembled
+into a :class:`~repro.harness.report.Table`.  This module turns that
+list into first-class data so sweeps can be parallelized and cached
+without changing a single table byte:
+
+* :class:`JobSpec` — one picklable simulation description.  Workloads
+  are referenced by *registry name + parameters*
+  (:class:`WorkloadRef`), never by closure, so a spec can cross a
+  process boundary and be hashed canonically.
+* :func:`run_jobs` — executes a list of specs and returns results in
+  submission order.  ``jobs=1`` is the exact legacy serial path;
+  ``jobs>1`` fans out over a ``ProcessPoolExecutor``.  Because every
+  job is an independent deterministic simulation and results are
+  reassembled by index, a parallel sweep is byte-identical to a serial
+  one (asserted in CI).
+* :class:`ResultCache` — a content-addressed disk cache under
+  ``benchmarks/results/cache/``.  The key is the sha256 of the
+  canonical JobSpec document plus a fingerprint of the simulator
+  sources and :data:`SWEEP_CACHE_VERSION`, so *any* code change or
+  schema bump invalidates every entry.  Cached results round-trip
+  through ``SimResult.metrics_dict()`` and carry
+  ``extra['cache_hit'] = True``.
+
+Failure semantics (documented contract, exercised by the integration
+tests): an exception raised *by the job itself* propagates to the
+caller; a worker process dying (``BrokenProcessPool``) is retried once
+in a fresh pool and then falls back to in-process execution; a job
+exceeding ``timeout`` seconds is retried once and then raises
+:class:`SweepTimeoutError` — a hang is never retried in-process, where
+it could not be interrupted.
+
+Observability hubs (tracers/metrics registries) are not picklable and
+must observe the run *in this process*: passing ``obs`` with ``jobs>1``
+raises :class:`SweepError`, and traced runs always bypass the cache
+(a cache hit would observe nothing).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config import GPUConfig
+from repro.harness.runner import ArchSpec, run_workload
+from repro.obs import ObsConfig
+from repro.sim.results import SimResult
+from repro.workloads import Workload
+from repro.workloads.bc import build_bc
+from repro.workloads.convolution import build_conv
+from repro.workloads.locks import build_lock_sum
+from repro.workloads.microbench import (
+    build_atomic_sum,
+    build_histogram,
+    build_multi_target,
+    build_order_sensitive,
+)
+from repro.workloads.pagerank import build_pagerank
+from repro.workloads.sssp import build_sssp
+
+#: Bump on any change to the cache document layout or to simulation
+#: semantics that the code fingerprint cannot see (e.g. a data file).
+#: Every bump invalidates the entire cache.
+SWEEP_CACHE_VERSION = 1
+
+#: Schema tag of on-disk cache documents.
+CACHE_SCHEMA = "repro.sweep-cache/v1"
+
+
+class SweepError(RuntimeError):
+    """Sweep engine misuse or unrecoverable executor failure."""
+
+
+class SweepTimeoutError(SweepError):
+    """A job exceeded its per-job timeout (after one retry)."""
+
+
+class UnknownWorkloadError(SweepError):
+    """A WorkloadRef names a factory missing from the registry.
+
+    Raised in-process for a genuinely unknown name; when it arrives
+    from a *worker* it usually means the registry entry was registered
+    after the pool forked — the engine falls back to in-process
+    execution, where the entry is visible (or the real error surfaces).
+    """
+
+
+# ----------------------------------------------------------------------
+# Workload registry: name -> factory.  String keys keep JobSpecs
+# picklable and hashable; on Linux the pool forks, so entries
+# registered at import time (e.g. by tests) are inherited by workers.
+# ----------------------------------------------------------------------
+
+WORKLOAD_FACTORIES: Dict[str, Callable[..., Workload]] = {
+    "bc": build_bc,
+    "pagerank": build_pagerank,
+    "sssp": build_sssp,
+    "conv": build_conv,
+    "lock_sum": build_lock_sum,
+    "atomic_sum": build_atomic_sum,
+    "order_sensitive": build_order_sensitive,
+    "histogram": build_histogram,
+    "multi_target": build_multi_target,
+}
+
+
+def register_workload(name: str, factory: Callable[..., Workload]) -> None:
+    """Add a factory to the registry (idempotent for the same object)."""
+    existing = WORKLOAD_FACTORIES.get(name)
+    if existing is not None and existing is not factory:
+        raise ValueError(f"workload factory {name!r} already registered")
+    WORKLOAD_FACTORIES[name] = factory
+
+
+def _resolve_factory(name: str) -> Callable[..., Workload]:
+    try:
+        return WORKLOAD_FACTORIES[name]
+    except KeyError:
+        raise UnknownWorkloadError(
+            f"unknown workload factory {name!r}; "
+            f"register it with repro.harness.sweep.register_workload"
+        ) from None
+
+
+@dataclass(frozen=True)
+class WorkloadRef:
+    """Picklable reference to a workload factory call.
+
+    ``kwargs`` may be passed as a dict; it is normalized to a sorted
+    tuple of pairs so refs hash/compare by value.  A ref is itself a
+    zero-argument factory (``ref()`` builds a fresh Workload), so it
+    drops into every API that used to take a closure.
+    """
+
+    factory: str
+    args: Tuple = ()
+    kwargs: Tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+        kw = self.kwargs
+        if isinstance(kw, dict):
+            kw = tuple(sorted(kw.items()))
+        object.__setattr__(self, "kwargs", tuple(kw))
+
+    def __call__(self) -> Workload:
+        return _resolve_factory(self.factory)(*self.args, **dict(self.kwargs))
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One simulation: everything :func:`run_workload` needs, by value.
+
+    ``gpu=None`` means the experiment default (``GPUConfig.small()``);
+    it is resolved before hashing so an explicit small() and the
+    default produce the same cache key.
+    """
+
+    workload: WorkloadRef
+    arch: ArchSpec
+    gpu: Optional[GPUConfig] = None
+    seed: int = 1
+    jitter: bool = True
+    jitter_dram: int = 16
+    jitter_icnt: int = 6
+    max_cycles: Optional[int] = None
+
+    def resolved_gpu(self) -> GPUConfig:
+        return self.gpu if self.gpu is not None else GPUConfig.small()
+
+    def canonical(self) -> Dict[str, object]:
+        """JSON-able dict that fully determines the simulation output."""
+        doc = _plain(self)
+        doc["gpu"] = _plain(self.resolved_gpu())
+        return doc
+
+    def cache_key(self) -> str:
+        payload = json.dumps(
+            {"spec": self.canonical(), "fingerprint": cache_fingerprint()},
+            sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _plain(obj):
+    """Recursively reduce dataclasses/enums/containers to JSON types."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _plain(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, (list, tuple)):
+        return [_plain(v) for v in obj]
+    if isinstance(obj, dict):
+        return {str(k): _plain(v) for k, v in sorted(obj.items())}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__!r} for a cache key; "
+        f"JobSpec fields must be dataclasses, enums, or JSON scalars"
+    )
+
+
+# ----------------------------------------------------------------------
+# Code fingerprint: hash of every simulator source file.  Any edit to
+# the package invalidates the cache — coarse but impossible to fool.
+# ----------------------------------------------------------------------
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        h.update(str(path.relative_to(root)).encode("utf-8"))
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+def cache_fingerprint() -> str:
+    # Reads SWEEP_CACHE_VERSION at call time (not captured) so a bump —
+    # including a monkeypatched one in tests — invalidates immediately.
+    return f"{SWEEP_CACHE_VERSION}:{code_fingerprint()}"
+
+
+# ----------------------------------------------------------------------
+# Disk cache.
+# ----------------------------------------------------------------------
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_SWEEP_CACHE_DIR")
+    if env:
+        return Path(env)
+    root = Path(__file__).resolve().parents[3]
+    if (root / "benchmarks").is_dir():
+        return root / "benchmarks" / "results" / "cache"
+    return Path.cwd() / ".repro-sweep-cache"
+
+
+class ResultCache:
+    """Content-addressed store: ``<dir>/<key[:2]>/<key>.json``."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, spec: JobSpec) -> Optional[SimResult]:
+        path = self.path_for(spec.cache_key())
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None  # missing or torn entry: treat as a miss
+        if doc.get("schema") != CACHE_SCHEMA:
+            return None
+        result = SimResult.from_metrics_dict(doc["result"])
+        result.extra["cache_hit"] = True
+        return result
+
+    def put(self, spec: JobSpec, result: SimResult) -> None:
+        key = spec.cache_key()
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "spec": spec.canonical(),
+            "result": result.metrics_dict(),
+        }
+        text = json.dumps(doc, sort_keys=True) + "\n"
+        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        tmp.write_text(text, encoding="utf-8")
+        tmp.replace(path)  # atomic: concurrent writers race benignly
+
+
+# ----------------------------------------------------------------------
+# Engine configuration (CLI / conftest / env wiring).
+# ----------------------------------------------------------------------
+
+@dataclass
+class SweepConfig:
+    jobs: int = 1
+    cache: bool = True
+    cache_dir: Optional[str] = None
+    timeout: Optional[float] = None
+
+
+def _config_from_env() -> SweepConfig:
+    cfg = SweepConfig()
+    jobs = os.environ.get("REPRO_SWEEP_JOBS")
+    if jobs:
+        cfg.jobs = max(1, int(jobs))
+    cache = os.environ.get("REPRO_SWEEP_CACHE")
+    if cache is not None:
+        cfg.cache = cache not in ("", "0")
+    cfg.cache_dir = os.environ.get("REPRO_SWEEP_CACHE_DIR") or None
+    return cfg
+
+
+_CONFIG: Optional[SweepConfig] = None
+
+
+def get_config() -> SweepConfig:
+    global _CONFIG
+    if _CONFIG is None:
+        _CONFIG = _config_from_env()
+    return _CONFIG
+
+
+def configure(jobs: Optional[int] = None, cache: Optional[bool] = None,
+              cache_dir: Optional[str] = None,
+              timeout: Optional[float] = None) -> SweepConfig:
+    """Set session-wide defaults for :func:`run_jobs` (None = keep)."""
+    cfg = get_config()
+    if jobs is not None:
+        cfg.jobs = max(1, int(jobs))
+    if cache is not None:
+        cfg.cache = cache
+    if cache_dir is not None:
+        cfg.cache_dir = str(cache_dir)
+    if timeout is not None:
+        cfg.timeout = timeout
+    return cfg
+
+
+@contextmanager
+def configured(**kwargs):
+    """Temporarily override the session sweep configuration."""
+    global _CONFIG
+    saved = dataclasses.replace(get_config())
+    try:
+        configure(**kwargs)
+        yield get_config()
+    finally:
+        _CONFIG = saved
+
+
+# ----------------------------------------------------------------------
+# Execution.
+# ----------------------------------------------------------------------
+
+def _execute_spec(spec: JobSpec, obs: Optional[ObsConfig] = None) -> SimResult:
+    """Run one spec to completion (also the worker-side entry point)."""
+    return run_workload(
+        spec.workload,
+        spec.arch,
+        gpu_config=spec.resolved_gpu(),
+        seed=spec.seed,
+        jitter=spec.jitter,
+        jitter_dram=spec.jitter_dram,
+        jitter_icnt=spec.jitter_icnt,
+        max_cycles=spec.max_cycles,
+        obs=obs,
+    )
+
+
+def run_jobs(
+    specs: Iterable[JobSpec],
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+    timeout: Optional[float] = None,
+    obs: Optional[ObsConfig] = None,
+) -> List[SimResult]:
+    """Execute ``specs``; return results in submission order.
+
+    Defaults for every knob come from the session :class:`SweepConfig`
+    (see :func:`configure`); explicit arguments win.  With ``obs`` set
+    the whole sweep runs in-process with the cache bypassed (hubs are
+    not picklable and a cache hit would observe nothing) — requesting
+    ``jobs>1`` together with ``obs`` is an error rather than a silent
+    serialization.
+    """
+    specs = list(specs)
+    cfg = get_config()
+    jobs = cfg.jobs if jobs is None else max(1, int(jobs))
+    use_cache = cfg.cache if cache is None else cache
+    timeout = cfg.timeout if timeout is None else timeout
+
+    if obs is not None and obs.enabled:
+        if jobs > 1:
+            raise SweepError(
+                "observability hubs (tracing/metrics) are not picklable; "
+                "traced sweeps must run in-process — use jobs=1"
+            )
+        return [_execute_spec(s, obs=obs) for s in specs]
+
+    rcache = None
+    if use_cache:
+        rcache = ResultCache(cache_dir or cfg.cache_dir or default_cache_dir())
+
+    results: List[Optional[SimResult]] = [None] * len(specs)
+    misses: List[int] = []
+    for i, spec in enumerate(specs):
+        hit = rcache.get(spec) if rcache is not None else None
+        if hit is not None:
+            results[i] = hit
+        else:
+            misses.append(i)
+
+    if misses:
+        if jobs == 1 or len(misses) == 1:
+            for i in misses:
+                results[i] = _execute_spec(specs[i])
+        else:
+            computed = _run_parallel([specs[i] for i in misses],
+                                     jobs=min(jobs, len(misses)),
+                                     timeout=timeout)
+            for i, res in zip(misses, computed):
+                results[i] = res
+        if rcache is not None:
+            for i in misses:
+                rcache.put(specs[i], results[i])
+    return results  # type: ignore[return-value]
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting on hung or dead workers."""
+    procs = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        try:
+            if proc.is_alive():
+                proc.terminate()
+        except Exception:
+            pass
+
+
+def _run_parallel(specs: Sequence[JobSpec], jobs: int,
+                  timeout: Optional[float]) -> List[SimResult]:
+    results: List[Optional[SimResult]] = [None] * len(specs)
+    pending = list(range(len(specs)))
+    reasons: Dict[int, str] = {}
+
+    for _attempt in range(2):  # initial run + one retry
+        if not pending:
+            break
+        reasons = {}
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+        try:
+            futures = {j: pool.submit(_execute_spec, specs[j])
+                       for j in pending}
+            for j in pending:
+                try:
+                    results[j] = futures[j].result(timeout=timeout)
+                except _FuturesTimeout:
+                    reasons[j] = "timeout"
+                except (BrokenProcessPool, OSError):
+                    reasons[j] = "broken"
+                except UnknownWorkloadError:
+                    # Registry entry not visible in the worker (spawn
+                    # semantics / late registration): recoverable
+                    # in-process, where the registry is authoritative.
+                    reasons[j] = "broken"
+        finally:
+            _shutdown_pool(pool)
+        pending = sorted(reasons)
+
+    timed_out = [j for j in pending if reasons.get(j) == "timeout"]
+    if timed_out:
+        raise SweepTimeoutError(
+            f"{len(timed_out)} job(s) exceeded the {timeout}s per-job "
+            f"timeout after a retry (first: {specs[timed_out[0]]})"
+        )
+    # Worker death survivors: graceful in-process fallback.  An
+    # exception here is the job's own and propagates normally.
+    for j in pending:
+        results[j] = _execute_spec(specs[j])
+    return results  # type: ignore[return-value]

@@ -56,6 +56,7 @@ class GPU:
         deterministic_dispatch: Optional[bool] = None,
         model_virtual_write_queue: bool = False,
         obs: Optional[ObsConfig] = None,
+        max_cycles: Optional[int] = None,
     ):
         if dab is not None and gpudet is not None:
             raise ValueError("choose at most one of dab / gpudet")
@@ -133,10 +134,21 @@ class GPU:
         self.dispatcher = CTADispatcher(self.sms, deterministic_dispatch,
                                         obs=self.obs)
 
+        #: cycle budget for :meth:`run` (a ``run(max_cycles=...)``
+        #: argument overrides it for that call only).
+        self.max_cycles = 200_000_000 if max_cycles is None else max_cycles
+
         # Event heap.
         self._heap: list = []
         self._seq = 0
         self.cycle = 0
+
+        # Memo for _earliest_warp_wake: valid while no warp wake state
+        # (ready_cycle / done / at_barrier / outstanding counters) has
+        # changed.  Every mutation site MUST set _wake_dirty; see the
+        # contract note on _earliest_warp_wake.
+        self._wake_value: Optional[int] = None
+        self._wake_dirty = True
 
         # Kernel sequencing / completion tracking.
         self._queue: List[Kernel] = []
@@ -189,6 +201,7 @@ class GPU:
         warp.outstanding_loads -= 1
         if warp.outstanding_loads == 0:
             warp.ready_cycle = max(warp.ready_cycle, now + 1)
+        self._wake_dirty = True
 
     # -- stores ---------------------------------------------------------------
     def send_store(self, now: int, sm: SM, warp: Warp, sector: int) -> None:
@@ -271,6 +284,7 @@ class GPU:
         warp.outstanding_atoms -= 1
         if warp.outstanding_atoms == 0:
             warp.ready_cycle = max(warp.ready_cycle, now + 1)
+        self._wake_dirty = True
 
     # -- notifications ------------------------------------------------------------
     def on_cta_done(self, now: int, cta: CTA) -> None:
@@ -285,6 +299,7 @@ class GPU:
         arrivals wait for the next flush (their request flag is still
         set, so one will trigger).
         """
+        self._wake_dirty = True
         for sm in self.sms:
             sm.on_flush_complete(now, started)
 
@@ -297,6 +312,7 @@ class GPU:
     def _start_next_kernel(self) -> None:
         self._current = self._queue.pop(0)
         self._ctas_done = 0
+        self._wake_dirty = True
         self.dispatcher.begin_kernel(self._current)
         if self.gpudet is not None:
             self.gpudet.begin_kernel(self._current)
@@ -360,13 +376,14 @@ class GPU:
     # ------------------------------------------------------------------
     # Main loop.
     # ------------------------------------------------------------------
-    def run(self, max_cycles: int = 200_000_000) -> SimResult:
+    def run(self, max_cycles: Optional[int] = None) -> SimResult:
+        limit = self.max_cycles if max_cycles is None else max_cycles
         obs = self.obs
         prof = obs.profiler if obs is not None else None
         run_t0 = prof.start() if prof is not None else 0.0
         while True:
-            if self.cycle > max_cycles:
-                raise SimulationError(f"exceeded {max_cycles} cycles")
+            if self.cycle > limit:
+                raise SimulationError(f"exceeded {limit} cycles")
             progressed = False
             if obs is not None:
                 obs.cycle = self.cycle
@@ -390,6 +407,7 @@ class GPU:
                 t0 = prof.start()
             if self.dispatcher.place(self.cycle):
                 progressed = True
+                self._wake_dirty = True
             if prof is not None:
                 prof.stop("dispatch", t0)
 
@@ -397,9 +415,14 @@ class GPU:
                 t0 = prof.start()
             issued = 0
             for sm in self.sms:
-                issued += sm.issue_cycle(self.cycle)
+                # An SM with no live warps cannot issue, stall-account,
+                # or release a barrier/fence (those lists only ever hold
+                # live warps): skipping it whole is behaviour-identical.
+                if sm.live_count:
+                    issued += sm.issue_cycle(self.cycle)
             if issued:
                 progressed = True
+                self._wake_dirty = True
             if prof is not None:
                 prof.stop("issue", t0)
 
@@ -407,8 +430,10 @@ class GPU:
                 t0 = prof.start()
             if self.gpudet is not None and self.gpudet.tick(self.cycle):
                 progressed = True
+                self._wake_dirty = True
             if self.flush is not None and self.flush.maybe_trigger(self.cycle):
                 progressed = True
+                self._wake_dirty = True
             if prof is not None:
                 prof.stop("flush", t0)
 
@@ -449,8 +474,20 @@ class GPU:
         return self._collect_result()
 
     def _earliest_warp_wake(self) -> Optional[int]:
+        # Memoized between warp-state changes.  Contract: every site
+        # that mutates a warp's ready_cycle / done / at_barrier /
+        # outstanding counters (or adds a warp) must set _wake_dirty.
+        # A clean cached value can only ever be *smaller* than the true
+        # next wake (never larger), so reuse is exact when it is still
+        # in the future; once it reaches the current cycle we rescan.
+        if not self._wake_dirty:
+            cached = self._wake_value
+            if cached is None or cached > self.cycle:
+                return cached
         best: Optional[int] = None
         for sm in self.sms:
+            if not sm.live_count:
+                continue
             for table in sm.sched_slots:
                 for w in table:
                     if w is None or w.done or w.at_barrier:
@@ -460,6 +497,8 @@ class GPU:
                     if w.ready_cycle > self.cycle:
                         if best is None or w.ready_cycle < best:
                             best = w.ready_cycle
+        self._wake_value = best
+        self._wake_dirty = False
         return best
 
     # ------------------------------------------------------------------

@@ -138,6 +138,48 @@ class SimResult:
         )
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_metrics_dict(cls, doc: Dict[str, object]) -> "SimResult":
+        """Reconstruct a result from a :meth:`metrics_dict` document.
+
+        Inverse of :meth:`metrics_dict` for everything the experiments
+        and tables consume; observability payloads (``metrics`` /
+        ``trace`` / ``host_profile``) are run-local and are *not*
+        restored — a reconstructed result has ``obs=None``.  Used by the
+        sweep engine's disk cache (``repro.harness.sweep``).
+        """
+        stalls = StallBreakdown()
+        for k, v in dict(doc.get("stalls", {})).items():
+            if k in StallBreakdown._FIELDS:
+                setattr(stalls, k, int(v))
+        caches = dict(doc.get("caches", {}))
+        flush = dict(doc.get("flush", {}))
+        icnt = dict(doc.get("icnt", {}))
+        extra = dict(doc.get("extra", {}))
+        extra.pop("cache_hit", None)  # provenance, not simulation output
+        return cls(
+            label=str(doc.get("label", "")),
+            cycles=int(doc["cycles"]),
+            instructions=int(doc["instructions"]),
+            atomics=int(doc["atomics"]),
+            kernels=int(doc["kernels"]),
+            mem_digest=str(doc.get("mem_digest", "")),
+            stalls=stalls,
+            l1_miss_rate=float(caches.get("l1_miss_rate", 0.0)),
+            l2_miss_rate=float(caches.get("l2_miss_rate", 0.0)),
+            flush_count=int(flush.get("count", 0)),
+            flush_cycles=int(flush.get("cycles", 0)),
+            flush_entries=int(flush.get("entries", 0)),
+            fused_atomics=int(flush.get("fused_atomics", 0)),
+            icnt_packets=int(icnt.get("packets", 0)),
+            icnt_queue_delay=int(icnt.get("queue_delay", 0)),
+            gpudet_mode_cycles={str(k): int(v) for k, v in
+                                dict(doc.get("gpudet_mode_cycles", {})).items()},
+            extra=extra,
+            buffer_stats=list(doc.get("buffers", [])),
+            partition_stats=list(doc.get("partitions", [])),
+        )
+
     def metrics_dict(self) -> Dict[str, object]:
         """The machine-readable run report (``--metrics-json``).
 

@@ -97,6 +97,9 @@ class SM:
 
         self.instructions = 0
         self.atomics = 0
+        #: number of placed, not-yet-exited warps; the GPU run loop
+        #: skips issue_cycle entirely while this is 0 (idle-SM skip).
+        self.live_count = 0
 
     # ------------------------------------------------------------------
     # Kernel / CTA management.
@@ -167,6 +170,8 @@ class SM:
             warp.ready_cycle = now
             self.sched_slots[sched][local] = warp
             self.schedulers[sched].notify_warp_added(self.sched_slots[sched], local)
+            self.live_count += 1
+        self.gpu._wake_dirty = True
         self.ctas_placed += 1
         self.cta_records.append(cta)
         if self.gpu.gpudet is not None:
@@ -395,6 +400,7 @@ class SM:
     # ------------------------------------------------------------------
     def _handle_exit(self, now: int, warp: Warp) -> None:
         warp.exited = True
+        self.live_count -= 1
         cta = warp.cta
         cta.warps_exited += 1
         table = self.sched_slots[warp.scheduler_id]
@@ -491,6 +497,7 @@ class SM:
                         w.at_barrier = False
                         w.ready_cycle = max(w.ready_cycle, now + 1)
                     done_ctas.append(cta)
+                    self.gpu._wake_dirty = True
         for cta in done_ctas:
             self._barrier_ctas.remove(cta)
         still = []
@@ -498,6 +505,7 @@ class SM:
             if w.outstanding_loads == 0 and w.outstanding_stores == 0 and w.outstanding_atoms == 0:
                 w.at_barrier = False
                 w.ready_cycle = max(w.ready_cycle, now + 1)
+                self.gpu._wake_dirty = True
             else:
                 still.append(w)
         self._fence_warps = still

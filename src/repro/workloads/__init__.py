@@ -43,8 +43,15 @@ class Workload:
     #: provenance: paper-scale vs simulated-scale parameters.
     info: Dict[str, object] = field(default_factory=dict)
 
-    def drive(self, gpu) -> "object":
-        """Run the workload to completion on ``gpu``; returns SimResult."""
+    def drive(self, gpu, max_cycles: Optional[int] = None) -> "object":
+        """Run the workload to completion on ``gpu``; returns SimResult.
+
+        ``max_cycles`` (if given) becomes the GPU's cycle budget for
+        the whole workload — including every ``gpu.run()`` a host-side
+        driver loop makes — rather than a per-call override.
+        """
+        if max_cycles is not None:
+            gpu.max_cycles = max_cycles
         if self.driver is not None:
             return self.driver(gpu)
         for k in self.kernels:

@@ -22,6 +22,7 @@ Table II (paper values):
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
@@ -115,7 +116,10 @@ def generate(name: str, scale: int = 0, seed: int = 42) -> CSRGraph:
         scale = spec.default_scale
     n = max(16, spec.paper_nodes // scale)
     m_target = max(n, spec.paper_edges // scale)
-    rng = np.random.default_rng(seed + hash(name) % 1000)
+    # zlib.crc32, not hash(): str hashing is randomized per interpreter
+    # (PYTHONHASHSEED), which would make the generated graph — and every
+    # downstream cycle count — differ between invocations.
+    rng = np.random.default_rng(seed + zlib.crc32(name.encode()) % 1000)
 
     deg = _degrees_for(spec, n, m_target, rng)
     row_ptr = np.zeros(n + 1, dtype=np.int64)

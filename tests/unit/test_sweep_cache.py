@@ -1,0 +1,132 @@
+"""Cache-key contract and result round-trip for the sweep engine."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.dab import DABConfig
+from repro.harness.runner import ArchSpec, run_workload
+from repro.harness import sweep
+from repro.harness.sweep import (
+    JobSpec,
+    ResultCache,
+    WorkloadRef,
+    register_workload,
+)
+from repro.sim.results import SimResult
+from repro.workloads.microbench import build_atomic_sum
+
+
+def _spec(**overrides):
+    base = dict(workload=WorkloadRef("atomic_sum", (64,)),
+                arch=ArchSpec.baseline())
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+class TestCacheKey:
+    def test_stable_across_instances(self):
+        assert _spec().cache_key() == _spec().cache_key()
+
+    def test_kwargs_order_irrelevant(self):
+        a = WorkloadRef("atomic_sum", (64,), {"seed": 1, "cta_dim": 32})
+        b = WorkloadRef("atomic_sum", (64,), {"cta_dim": 32, "seed": 1})
+        assert a == b
+        assert _spec(workload=a).cache_key() == _spec(workload=b).cache_key()
+
+    @pytest.mark.parametrize("change", [
+        dict(workload=WorkloadRef("atomic_sum", (128,))),
+        dict(workload=WorkloadRef("order_sensitive", (64,))),
+        dict(workload=WorkloadRef("atomic_sum", (64,), {"seed": 9})),
+        dict(arch=ArchSpec.make_dab()),
+        dict(arch=ArchSpec.make_dab(DABConfig(buffer_entries=32))),
+        dict(gpu=GPUConfig.tiny()),
+        dict(seed=2),
+        dict(jitter=False),
+        dict(jitter_dram=48),
+        dict(jitter_icnt=24),
+        dict(max_cycles=1000),
+    ])
+    def test_any_field_change_changes_key(self, change):
+        assert _spec(**change).cache_key() != _spec().cache_key()
+
+    def test_default_gpu_resolves_to_small(self):
+        # gpu=None and gpu=small() are the same simulation, same key.
+        assert _spec().cache_key() == _spec(gpu=GPUConfig.small()).cache_key()
+
+    def test_version_bump_invalidates(self, monkeypatch):
+        before = _spec().cache_key()
+        monkeypatch.setattr(sweep, "SWEEP_CACHE_VERSION",
+                            sweep.SWEEP_CACHE_VERSION + 1)
+        assert _spec().cache_key() != before
+
+
+class TestWorkloadRef:
+    def test_ref_is_a_factory(self):
+        wl = WorkloadRef("atomic_sum", (64,))()
+        assert wl.name == build_atomic_sum(64).name
+
+    def test_unknown_factory_raises(self):
+        with pytest.raises(sweep.UnknownWorkloadError):
+            WorkloadRef("no_such_workload")()
+
+    def test_register_conflict_rejected(self):
+        register_workload("atomic_sum", build_atomic_sum)  # idempotent
+        with pytest.raises(ValueError):
+            register_workload("atomic_sum", lambda: None)
+
+
+class TestResultRoundTrip:
+    def test_metrics_dict_round_trip(self):
+        res = run_workload(WorkloadRef("atomic_sum", (64,)),
+                           ArchSpec.make_dab(), gpu_config=GPUConfig.tiny())
+        back = SimResult.from_metrics_dict(res.metrics_dict())
+        assert back.metrics_dict() == res.metrics_dict()
+        assert back.cycles == res.cycles
+        assert back.stalls.as_dict() == res.stalls.as_dict()
+        assert back.extra["output_digest"] == res.extra["output_digest"]
+
+    def test_cache_get_put(self, tmp_path):
+        spec = _spec(gpu=GPUConfig.tiny())
+        cache = ResultCache(tmp_path)
+        assert cache.get(spec) is None
+        res = sweep._execute_spec(spec)
+        cache.put(spec, res)
+        hit = cache.get(spec)
+        assert hit is not None
+        assert hit.extra["cache_hit"] is True
+        assert hit.cycles == res.cycles
+        # cache_hit is provenance, not simulation output: it must not
+        # leak back into the stored document's metrics.
+        assert "cache_hit" not in res.extra
+
+    def test_torn_entry_is_a_miss(self, tmp_path):
+        spec = _spec(gpu=GPUConfig.tiny())
+        cache = ResultCache(tmp_path)
+        path = cache.path_for(spec.cache_key())
+        path.parent.mkdir(parents=True)
+        path.write_text('{"schema": "repro.sweep-cache/v1", "resu')
+        assert cache.get(spec) is None
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        spec = _spec(gpu=GPUConfig.tiny())
+        cache = ResultCache(tmp_path)
+        res = sweep._execute_spec(spec)
+        cache.put(spec, res)
+        doc = cache.path_for(spec.cache_key()).read_text()
+        cache.path_for(spec.cache_key()).write_text(
+            doc.replace("repro.sweep-cache/v1", "repro.sweep-cache/v0"))
+        assert cache.get(spec) is None
+
+
+class TestCanonical:
+    def test_canonical_is_json_plain(self):
+        import json
+
+        doc = _spec(arch=ArchSpec.make_dab(), gpu=GPUConfig.tiny()).canonical()
+        json.dumps(doc, sort_keys=True)  # must not raise
+
+    def test_uncanonicalizable_rejected(self):
+        with pytest.raises(TypeError):
+            sweep._plain(object())
