@@ -10,6 +10,8 @@ Examples::
     python -m repro trace --workload microbench --arch dab --view waterfall
     python -m repro audit --workload microbench --seeds 1,2,3,4
     python -m repro audit --workload microbench --trace-digest
+    python -m repro chaos --seeds 10
+    python -m repro chaos --workload pagerank:coA --journal /tmp/chaos.jsonl
     python -m repro experiment fig10
     python -m repro list
 
@@ -17,7 +19,11 @@ Examples::
 result summary; ``trace`` runs with event tracing on and renders
 text timelines (flush waterfall, buffer occupancy); ``audit`` sweeps
 jitter seeds and reports bitwise digests (the determinism check);
-``experiment`` regenerates one paper table/figure by name.
+``chaos`` fuzzes seeded fault plans against all three architectures
+and asserts DAB/GPUDet outputs stay bitwise identical while the
+baseline diverges, then corrupts the flush protocol on purpose and
+asserts the invariant checker catches it; ``experiment`` regenerates
+one paper table/figure by name.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from typing import Callable, Dict, Optional
 
 from repro.config import GPUConfig
 from repro.core.dab import BufferLevel, DABConfig
+from repro.faults import FaultConfig, FaultPlan, InvariantViolation
 from repro.gpudet.gpudet import GPUDetConfig
 from repro.harness import experiments as experiments_mod
 from repro.harness import sweep
@@ -292,6 +299,96 @@ def cmd_audit(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_chaos(args) -> int:
+    """Seeded chaos campaign: fault plans vs all three architectures.
+
+    Two claims are exercised.  *Determinism survives timing chaos*:
+    under N sampled fault plans (DRAM bursts, interconnect spikes,
+    adversarial reordering, partition stalls, delayed pre-flush counts)
+    DAB and GPUDet must each produce exactly one output digest, while
+    the baseline is expected to diverge.  *Corruption is detected*:
+    dropped and duplicated flush entries (the DAB-NR failure modes) must
+    each raise a structured :class:`InvariantViolation`.
+    """
+    ref = parse_workload_ref(args.workload)
+    config = PRESETS[args.preset]()
+    if args.seeds < 1:
+        raise SystemExit("--seeds must be >= 1")
+    plans = [FaultPlan.sample(s) for s in range(1, args.seeds + 1)]
+    arch_list = (
+        ("baseline", ArchSpec.baseline()),
+        ("DAB", ArchSpec.make_dab()),
+        ("GPUDet", ArchSpec.make_gpudet()),
+    )
+    print(f"Chaos campaign: {args.workload!r} on preset {args.preset!r}, "
+          f"{len(plans)} fault plan(s) "
+          f"(schedule digests {plans[0].schedule_digest()[:8]}… "
+          f"… {plans[-1].schedule_digest()[:8]}…)")
+    # One job per (arch, plan); invariants stay armed throughout so any
+    # protocol breakage under pure timing chaos fails loudly.  The cache
+    # is bypassed (replaying stored results would prove nothing) but a
+    # --journal makes the campaign itself kill-and-resumable.
+    specs = [
+        JobSpec(ref, arch, gpu=config, seed=args.seed,
+                faults=p.config, fault_seed=p.seed, invariants=True)
+        for _label, arch in arch_list for p in plans
+    ]
+    try:
+        all_results = run_jobs(specs, jobs=args.jobs, cache=False,
+                               journal=args.journal)
+    except InvariantViolation as e:
+        print(f"  INVARIANT VIOLATION under timing-only faults: {e}")
+        return 1
+    ok = True
+    for i, (label, arch) in enumerate(arch_list):
+        results = all_results[i * len(plans):(i + 1) * len(plans)]
+        digests = {r.extra["output_digest"] for r in results}
+        injected = sum(int(r.extra.get("faults_injected", 0))
+                       for r in results)
+        checks = sum(int(r.extra.get("invariant_checks", 0))
+                     for r in results)
+        det = len(digests) == 1
+        if label == "baseline":
+            # With >=2 plans the baseline *should* diverge; a single
+            # digest would mean the fault plans never perturbed the
+            # atomic order and the campaign proved nothing.
+            good = det if len(plans) == 1 else not det
+            verdict = ("diverged as expected" if not det
+                       else "did NOT diverge (campaign too weak?)")
+        else:
+            good = det
+            verdict = ("bitwise identical" if det
+                       else "NON-DETERMINISTIC under faults")
+        ok = ok and good
+        print(f"  {label:9s} {len(digests)} distinct digest(s) over "
+              f"{len(plans)} plan(s) -> {verdict} "
+              f"[{injected} faults injected, {checks} invariant checks]")
+
+    print("Corruption detection (DAB-NR study failure modes):")
+    probes = (
+        ("drop", FaultConfig(drop_prob=0.15)),
+        ("dup", FaultConfig(dup_prob=0.25)),
+    )
+    for name, fault_cfg in probes:
+        try:
+            run_workload(ref, ArchSpec.make_dab(), gpu_config=config,
+                         seed=args.seed,
+                         faults=FaultPlan(args.corrupt_seed, fault_cfg),
+                         invariants=True)
+        except InvariantViolation as e:
+            print(f"  {name:5s} entry fault -> caught: {e}")
+        except Exception as e:  # noqa: BLE001 - report, then fail
+            ok = False
+            print(f"  {name:5s} entry fault -> WRONG ERROR "
+                  f"({type(e).__name__}: {e})")
+        else:
+            ok = False
+            print(f"  {name:5s} entry fault -> NOT DETECTED "
+                  f"(run completed cleanly)")
+    print("chaos campaign PASSED" if ok else "chaos campaign FAILED")
+    return 0 if ok else 1
+
+
 def cmd_experiment(args) -> int:
     try:
         fn = EXPERIMENTS[args.name]
@@ -384,6 +481,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes for the seed sweep "
                               "(incompatible with --trace-digest)")
     audit_p.set_defaults(fn=cmd_audit)
+
+    chaos_p = sub.add_parser(
+        "chaos", help="fuzz seeded fault plans; assert DAB/GPUDet "
+                      "determinism survives and corruption is detected")
+    chaos_p.add_argument("--workload", default="order-sensitive:256")
+    chaos_p.add_argument("--preset", default="tiny", choices=list(PRESETS))
+    chaos_p.add_argument("--seeds", type=int, default=10, metavar="N",
+                         help="number of sampled fault plans (seeds 1..N)")
+    chaos_p.add_argument("--seed", type=int, default=1,
+                         help="jitter seed held fixed across the campaign")
+    chaos_p.add_argument("--corrupt-seed", type=int, default=7,
+                         help="fault seed for the drop/dup detection probes")
+    chaos_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for the campaign")
+    chaos_p.add_argument("--journal", metavar="PATH", default=None,
+                         help="checkpoint/resume journal; a killed campaign "
+                              "rerun with the same path resumes")
+    chaos_p.set_defaults(fn=cmd_chaos)
 
     exp_p = sub.add_parser("experiment", help="regenerate one table/figure")
     exp_p.add_argument("name")

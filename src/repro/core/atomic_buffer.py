@@ -87,12 +87,14 @@ class AtomicBuffer:
     """
 
     def __init__(self, capacity: int, fusion: bool = False,
-                 obs=None, name: str = "", sm_id: int = -1):
+                 obs=None, name: str = "", sm_id: int = -1, inv=None):
         if capacity < 1:
             raise ValueError("buffer capacity must be >= 1")
         self.capacity = capacity
         self.fusion = fusion
         self.obs = obs
+        #: runtime invariant checker; None = checking off (zero cost).
+        self.inv = inv
         self.name = name
         self.sm_id = sm_id
         self._m_flush_occ = None
@@ -181,6 +183,8 @@ class AtomicBuffer:
                 )
             self.stats.inserts += 1
         occ = len(self._entries)
+        if self.inv is not None:
+            self.inv.check_buffer_occupancy(self.name, occ, self.capacity)
         if occ > self.stats.max_occupancy:
             self.stats.max_occupancy = occ
         if self.obs is not None:

@@ -270,12 +270,15 @@ class FlushController:
         use_preflush = not cfg.relax_cluster_flush
 
         # 3. Pre-flush messages: one per (cluster, partition).
+        fi = getattr(gpu, "faults", None)
         pre_barrier = [now] * num_parts
         if use_preflush:
             clusters = sorted({gpu.sms[s].cluster_id for s in sm_ids})
             for cid in clusters:
                 for p in range(num_parts):
                     arr = gpu.net_fwd.send(now, cid, p, PRE_FLUSH_BYTES)
+                    if fi is not None:
+                        arr += fi.preflush_delay(cid, p)
                     pre_barrier[p] = max(pre_barrier[p], arr)
 
         # 4. Begin rounds and stream the entries.  Under NR the reorder
@@ -289,18 +292,55 @@ class FlushController:
             sm = gpu.sms[sm_id]
             for txn in streams[sm_id]:
                 p = gpu.addr_map.partition_of(txn.sector)
+                action = (fi.flush_entry_action(sm_id, p)
+                          if fi is not None else None)
+                if action == "drop":
+                    # The transaction was announced but never arrives;
+                    # the protocol has no drop-site error — detection is
+                    # the InvariantChecker's job (deadlock post-mortem).
+                    if obs is not None:
+                        obs.emit_at(now, "fault", "drop_flush_entry",
+                                    sm=sm_id, partition=p,
+                                    ops=len(txn.ops))
+                    continue
                 arr = gpu.net_fwd.send(now, sm.cluster_id, p, txn.payload_bytes)
                 when = max(arr, pre_barrier[p])
+                if fi is not None:
+                    when = fi.deliver_at(sm_id, p, when)
                 gpu.schedule(
                     when,
                     self._entry_arrival,
                     (key, p, sm_id, txn),
                 )
+                if action == "dup":
+                    if obs is not None:
+                        obs.emit_at(now, "fault", "dup_flush_entry",
+                                    sm=sm_id, partition=p,
+                                    ops=len(txn.ops))
+                    dup_when = fi.deliver_at(sm_id, p, when + 1)
+                    gpu.schedule(
+                        dup_when,
+                        self._entry_arrival,
+                        (key, p, sm_id, txn),
+                    )
 
     # -- event handlers -----------------------------------------------------
     def _entry_arrival(self, now: int, args) -> None:
         key, p, sm_id, txn = args
-        state = self._active[key]
+        state = self._active.get(key)
+        if state is None:
+            # The flush already completed: a duplicated (or stale) entry
+            # arriving late.  Surface it structurally rather than
+            # corrupting memory with a second application.
+            inv = getattr(self.gpu, "inv", None)
+            if inv is not None:
+                inv.on_late_arrival(p, sm_id)
+            from repro.sim.gpu import SimulationError
+
+            raise SimulationError(
+                f"flush entry from sm {sm_id} arrived at cycle {now} after "
+                f"flush {key} completed (duplicated or stale entry)"
+            )
         if self.config.relax_no_reorder:
             applied = self.gpu.partitions[p].apply_flush_ops(now, list(txn.ops))
         else:

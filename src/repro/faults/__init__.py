@@ -1,0 +1,47 @@
+"""repro.faults — seeded fault injection and runtime invariant checking.
+
+Two halves of one robustness story:
+
+* :mod:`repro.faults.plan` — deterministic chaos.  A
+  :class:`FaultPlan` (seed + :class:`FaultConfig`) expands to a
+  :class:`FaultInjector` whose every perturbation is a pure function of
+  the seed, so hostile timing (DRAM bursts, interconnect spikes,
+  adversarial message reordering, partition stalls, delayed pre-flush
+  counts) and protocol corruption (dropped/duplicated flush entries)
+  replay exactly.
+* :mod:`repro.faults.invariants` — runtime verification.  An
+  :class:`InvariantChecker` (config-gated, ``inv=None`` when off,
+  mirroring the :mod:`repro.obs` pattern) asserts the flush protocol's
+  invariants as the simulation runs and raises structured
+  :class:`InvariantViolation` errors naming cycle, unit, and fault.
+
+The `repro chaos` CLI command drives both: fuzz N seeded plans against
+baseline/DAB/GPUDet, assert the deterministic architectures stay
+bitwise identical while the baseline diverges.
+"""
+
+from repro.faults.invariants import (
+    InvariantChecker,
+    InvariantConfig,
+    InvariantViolation,
+)
+from repro.faults.plan import (
+    MAX_BURST_LEN,
+    MAX_EXTRA_CYCLES,
+    MAX_STALL_WINDOWS,
+    FaultConfig,
+    FaultInjector,
+    FaultPlan,
+)
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "FaultPlan",
+    "InvariantChecker",
+    "InvariantConfig",
+    "InvariantViolation",
+    "MAX_BURST_LEN",
+    "MAX_EXTRA_CYCLES",
+    "MAX_STALL_WINDOWS",
+]

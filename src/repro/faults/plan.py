@@ -1,0 +1,409 @@
+"""Seeded fault plans: deterministic chaos for a deterministic simulator.
+
+A :class:`FaultPlan` is a *(seed, config)* pair; everything an injector
+will ever do is a pure function of those two values, so a chaos run is
+itself reproducible — re-running the same plan replays the exact same
+adversarial schedule.  The mild :class:`~repro.sim.nondet.JitterSource`
+models ordinary run-to-run hardware variation; fault plans model the
+hostile tail of it, plus outright protocol corruption:
+
+timing faults (determinism of DAB/GPUDet must *survive* these):
+
+* **DRAM latency bursts** — a partition's channel enters a burst and
+  every access pays ``dram_burst_extra`` cycles for up to
+  ``dram_burst_len`` accesses (refresh storms, thermal throttling);
+* **interconnect latency spikes** — individual packets pay a large
+  extra traversal latency;
+* **adversarial message reordering** — selected messages are delayed at
+  *delivery* so messages from different SMs interleave in hostile
+  orders.  Point-to-point (same source, same destination) order is
+  preserved, as on real hardware FIFO channels;
+* **transient partition stalls** — precomputed windows during which a
+  memory partition stops servicing (ECC scrub, repair cycles);
+* **delayed pre-flush count messages** — the flush handshake's
+  expected-count announcements arrive late, holding reorder rounds open;
+
+corruption faults (the :class:`~repro.faults.invariants.InvariantChecker`
+must *detect* these; they model the failure modes the DAB-NR relaxation
+study gives up protection against):
+
+* **dropped flush entries** — an announced flush transaction never
+  arrives at its memory partition;
+* **duplicated flush entries** — a flush transaction is delivered twice.
+
+Every random stream is an independent ``numpy`` substream keyed by
+``[seed, site(, unit)]``, so the draws one site consumes never shift
+another site's schedule.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+# Substream site ids (part of the on-disk/reproducibility contract:
+# renumbering changes every schedule).
+SITE_SAMPLE = 0
+SITE_DRAM = 1
+SITE_ICNT = 2
+SITE_REORDER = 3
+SITE_STALL = 4
+SITE_PREFLUSH = 5
+SITE_CORRUPT = 6
+
+#: Hard caps enforced at construction (satellite: reject bad magnitudes
+#: with a clear error instead of a downstream numpy failure).
+MAX_BURST_LEN = 4096
+MAX_EXTRA_CYCLES = 1_000_000
+MAX_STALL_WINDOWS = 1024
+
+_PROB_FIELDS = (
+    "dram_burst_prob", "icnt_spike_prob", "reorder_prob",
+    "preflush_delay_prob", "drop_prob", "dup_prob",
+)
+_CYCLE_FIELDS = (
+    "dram_burst_extra", "icnt_spike_max", "reorder_max_delay",
+    "stall_len", "stall_horizon", "preflush_max_delay",
+)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """What to inject.  The all-defaults instance injects nothing.
+
+    Picklable and JSON-plain (scalars only) so it rides inside a
+    :class:`~repro.harness.sweep.JobSpec` and hashes canonically.
+    """
+
+    # -- DRAM latency bursts --------------------------------------------
+    #: per-access probability that a burst starts on an idle channel.
+    dram_burst_prob: float = 0.0
+    #: maximum accesses one burst covers (capped at MAX_BURST_LEN).
+    dram_burst_len: int = 0
+    #: extra latency cycles per access while a burst is live.
+    dram_burst_extra: int = 0
+    # -- interconnect latency spikes ------------------------------------
+    icnt_spike_prob: float = 0.0
+    icnt_spike_max: int = 0
+    # -- adversarial message reordering ---------------------------------
+    reorder_prob: float = 0.0
+    reorder_max_delay: int = 0
+    # -- transient partition stalls -------------------------------------
+    #: stall windows per memory partition (capped at MAX_STALL_WINDOWS).
+    stall_windows: int = 0
+    #: cycles each window lasts.
+    stall_len: int = 0
+    #: windows start uniformly in [0, stall_horizon).
+    stall_horizon: int = 200_000
+    # -- delayed pre-flush count messages -------------------------------
+    preflush_delay_prob: float = 0.0
+    preflush_max_delay: int = 0
+    # -- corruption (DAB-NR study / invariant validation) ---------------
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in _PROB_FIELDS:
+            v = getattr(self, name)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                    or not 0.0 <= float(v) <= 1.0:
+                raise ValueError(
+                    f"{name} must be a probability in [0, 1], got {v!r}"
+                )
+        for name in _CYCLE_FIELDS:
+            v = getattr(self, name)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                raise ValueError(
+                    f"{name} must be a non-negative integer, got {v!r}"
+                )
+            if v > MAX_EXTRA_CYCLES:
+                raise ValueError(
+                    f"{name}={v} exceeds the cap of {MAX_EXTRA_CYCLES} cycles"
+                )
+        if not isinstance(self.dram_burst_len, int) \
+                or isinstance(self.dram_burst_len, bool) \
+                or self.dram_burst_len < 0:
+            raise ValueError(
+                f"dram_burst_len must be a non-negative integer, "
+                f"got {self.dram_burst_len!r}"
+            )
+        if self.dram_burst_len > MAX_BURST_LEN:
+            raise ValueError(
+                f"dram_burst_len={self.dram_burst_len} exceeds the cap of "
+                f"{MAX_BURST_LEN} accesses per burst"
+            )
+        if not isinstance(self.stall_windows, int) \
+                or isinstance(self.stall_windows, bool) \
+                or self.stall_windows < 0:
+            raise ValueError(
+                f"stall_windows must be a non-negative integer, "
+                f"got {self.stall_windows!r}"
+            )
+        if self.stall_windows > MAX_STALL_WINDOWS:
+            raise ValueError(
+                f"stall_windows={self.stall_windows} exceeds the cap of "
+                f"{MAX_STALL_WINDOWS} windows per partition"
+            )
+        if self.drop_prob + self.dup_prob > 1.0:
+            raise ValueError(
+                "drop_prob + dup_prob must not exceed 1.0 "
+                f"(got {self.drop_prob} + {self.dup_prob})"
+            )
+
+    @property
+    def is_corrupting(self) -> bool:
+        """True if the plan can alter *what* executes, not just *when*."""
+        return self.drop_prob > 0.0 or self.dup_prob > 0.0
+
+    @property
+    def any_active(self) -> bool:
+        return any(
+            getattr(self, f.name) for f in fields(self)
+            if f.name != "stall_horizon"
+        )
+
+
+def _check_seed(seed) -> int:
+    if isinstance(seed, bool) or not isinstance(seed, (int, np.integer)):
+        raise ValueError(f"fault seed must be an integer, got {seed!r}")
+    if seed < 0:
+        raise ValueError(f"fault seed must be non-negative, got {seed}")
+    return int(seed)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One reproducible chaos schedule: ``(seed, config)``."""
+
+    seed: int
+    config: FaultConfig
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seed", _check_seed(self.seed))
+        if not isinstance(self.config, FaultConfig):
+            raise ValueError(
+                f"FaultPlan config must be a FaultConfig, got "
+                f"{type(self.config).__name__!r}"
+            )
+
+    def injector(self) -> "FaultInjector":
+        """Fresh injector state; every call replays the same schedule."""
+        return FaultInjector(self.seed, self.config)
+
+    def preview(self, samples: int = 128) -> Dict[str, list]:
+        """Deterministic head of every fault stream (schedule identity).
+
+        Two plans with equal previews (for any ``samples``) inject
+        identically on identical simulations — the property the chaos
+        property tests pin.
+        """
+        inj = self.injector()
+        return {
+            "dram_p0": [inj.dram_extra(0) for _ in range(samples)],
+            "dram_p1": [inj.dram_extra(1) for _ in range(samples)],
+            "icnt": [inj.icnt_extra() for _ in range(samples)],
+            "delivery": [inj.deliver_at(0, 0, 10 * i)
+                         for i in range(samples)],
+            "stalls_p0": list(map(list, inj.stall_windows_for(0))),
+            "stalls_p1": list(map(list, inj.stall_windows_for(1))),
+            "preflush": [inj.preflush_delay(0, 0) for _ in range(samples)],
+            "corrupt": [inj.flush_entry_action(0, 0) or "-"
+                        for _ in range(samples)],
+        }
+
+    def schedule_digest(self, samples: int = 128) -> str:
+        """sha256 over the schedule preview (compact identity for logs)."""
+        import hashlib
+        import json
+
+        payload = json.dumps(self.preview(samples), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    @classmethod
+    def sample(cls, seed: int, corruption: bool = False) -> "FaultPlan":
+        """Draw a hostile-but-valid plan as a pure function of ``seed``.
+
+        Timing-only by default (DAB/GPUDet determinism must survive it);
+        ``corruption=True`` additionally arms drop/duplicate faults for
+        invariant-checker validation runs.
+        """
+        seed = _check_seed(seed)
+        rng = np.random.default_rng([seed, SITE_SAMPLE])
+        return cls(seed, FaultConfig(
+            dram_burst_prob=round(float(rng.uniform(0.02, 0.20)), 4),
+            dram_burst_len=int(rng.integers(2, 33)),
+            dram_burst_extra=int(rng.integers(8, 129)),
+            icnt_spike_prob=round(float(rng.uniform(0.02, 0.25)), 4),
+            icnt_spike_max=int(rng.integers(4, 65)),
+            reorder_prob=round(float(rng.uniform(0.05, 0.35)), 4),
+            reorder_max_delay=int(rng.integers(16, 257)),
+            stall_windows=int(rng.integers(1, 9)),
+            stall_len=int(rng.integers(64, 1025)),
+            preflush_delay_prob=round(float(rng.uniform(0.10, 0.50)), 4),
+            preflush_max_delay=int(rng.integers(16, 257)),
+            drop_prob=0.10 if corruption else 0.0,
+            dup_prob=0.0,
+        ))
+
+
+class FaultInjector:
+    """Live injector state for one simulation run.
+
+    Stateful (burst counters, delivery clocks, RNG cursors) but a pure
+    function of ``(seed, config)`` plus the call sequence — and the call
+    sequence of a deterministic simulation is itself deterministic.
+    """
+
+    def __init__(self, seed: int, config: FaultConfig):
+        self.seed = _check_seed(seed)
+        self.config = config
+        self._icnt_rng = np.random.default_rng([self.seed, SITE_ICNT])
+        self._reorder_rng = np.random.default_rng([self.seed, SITE_REORDER])
+        self._preflush_rng = np.random.default_rng([self.seed, SITE_PREFLUSH])
+        self._corrupt_rng = np.random.default_rng([self.seed, SITE_CORRUPT])
+        self._dram_rng: Dict[int, np.random.Generator] = {}
+        self._dram_burst_left: Dict[int, int] = {}
+        #: per-(src, dst) delivery clock: preserves point-to-point order.
+        self._last_delivery: Dict[Tuple[int, int], int] = {}
+        self._stalls: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        self._stall_starts: Dict[int, List[int]] = {}
+        #: injected-fault tally per kind (reported in SimResult.extra).
+        self.counts: Dict[str, int] = {
+            "dram_burst": 0, "icnt_spike": 0, "reorder": 0,
+            "stall": 0, "preflush": 0, "drop": 0, "dup": 0,
+        }
+        #: most recent corruption fault (for InvariantViolation blame).
+        self.last_fault: Optional[Dict[str, object]] = None
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.counts.values())
+
+    def describe_last(self) -> Optional[str]:
+        if self.last_fault is None:
+            return None
+        f = self.last_fault
+        return (f"{f['kind']} of flush txn from sm {f['sm']} to "
+                f"partition {f['partition']} (fault seed {self.seed})")
+
+    # -- DRAM latency bursts --------------------------------------------
+    def dram_extra(self, partition: int) -> int:
+        cfg = self.config
+        if cfg.dram_burst_prob <= 0.0 or cfg.dram_burst_extra <= 0 \
+                or cfg.dram_burst_len <= 0:
+            return 0
+        left = self._dram_burst_left.get(partition, 0)
+        if left > 0:
+            self._dram_burst_left[partition] = left - 1
+            return cfg.dram_burst_extra
+        rng = self._dram_rng.get(partition)
+        if rng is None:
+            rng = np.random.default_rng([self.seed, SITE_DRAM, partition])
+            self._dram_rng[partition] = rng
+        if rng.random() < cfg.dram_burst_prob:
+            # This access starts the burst and is part of it.
+            self._dram_burst_left[partition] = (
+                int(rng.integers(1, cfg.dram_burst_len + 1)) - 1
+            )
+            self.counts["dram_burst"] += 1
+            return cfg.dram_burst_extra
+        return 0
+
+    # -- interconnect latency spikes ------------------------------------
+    def icnt_extra(self) -> int:
+        cfg = self.config
+        if cfg.icnt_spike_prob <= 0.0 or cfg.icnt_spike_max <= 0:
+            return 0
+        if self._icnt_rng.random() < cfg.icnt_spike_prob:
+            self.counts["icnt_spike"] += 1
+            return int(self._icnt_rng.integers(1, cfg.icnt_spike_max + 1))
+        return 0
+
+    # -- adversarial message reordering ---------------------------------
+    def deliver_at(self, src: int, dst: int, when: int) -> int:
+        """Adversarially delay one message's delivery cycle.
+
+        Messages from *different* sources to the same destination may be
+        reordered arbitrarily; messages on one (src, dst) channel never
+        overtake each other (hardware FIFO channels), enforced by a
+        per-channel delivery clock.
+        """
+        cfg = self.config
+        t = when
+        if cfg.reorder_prob > 0.0 and cfg.reorder_max_delay > 0 \
+                and self._reorder_rng.random() < cfg.reorder_prob:
+            t = when + int(
+                self._reorder_rng.integers(1, cfg.reorder_max_delay + 1)
+            )
+            self.counts["reorder"] += 1
+        last = self._last_delivery.get((src, dst), 0)
+        if t < last:
+            t = last
+        self._last_delivery[(src, dst)] = t
+        return t
+
+    # -- transient partition stalls -------------------------------------
+    def stall_windows_for(self, partition: int) -> Tuple[Tuple[int, int], ...]:
+        """The precomputed (start, end) stall windows of one partition."""
+        cached = self._stalls.get(partition)
+        if cached is not None:
+            return cached
+        cfg = self.config
+        if cfg.stall_windows <= 0 or cfg.stall_len <= 0:
+            windows: Tuple[Tuple[int, int], ...] = ()
+        else:
+            rng = np.random.default_rng([self.seed, SITE_STALL, partition])
+            starts = sorted(
+                int(rng.integers(0, max(1, cfg.stall_horizon)))
+                for _ in range(cfg.stall_windows)
+            )
+            windows = tuple((s, s + cfg.stall_len) for s in starts)
+        self._stalls[partition] = windows
+        self._stall_starts[partition] = [s for s, _e in windows]
+        return windows
+
+    def partition_stall(self, partition: int, now: int) -> int:
+        """Extra cycles before this partition services a request at ``now``."""
+        windows = self.stall_windows_for(partition)
+        if not windows:
+            return 0
+        i = bisect_right(self._stall_starts[partition], now) - 1
+        if i >= 0:
+            start, end = windows[i]
+            if start <= now < end:
+                self.counts["stall"] += 1
+                return end - now
+        return 0
+
+    # -- delayed pre-flush count messages -------------------------------
+    def preflush_delay(self, cluster: int, partition: int) -> int:
+        cfg = self.config
+        if cfg.preflush_delay_prob <= 0.0 or cfg.preflush_max_delay <= 0:
+            return 0
+        if self._preflush_rng.random() < cfg.preflush_delay_prob:
+            self.counts["preflush"] += 1
+            return int(
+                self._preflush_rng.integers(1, cfg.preflush_max_delay + 1)
+            )
+        return 0
+
+    # -- corruption ------------------------------------------------------
+    def flush_entry_action(self, sm_id: int, partition: int) -> Optional[str]:
+        """Corruption verdict for one flush transaction: drop/dup/None."""
+        cfg = self.config
+        if not cfg.is_corrupting:
+            return None
+        r = self._corrupt_rng.random()
+        if r < cfg.drop_prob:
+            kind = "drop"
+        elif r < cfg.drop_prob + cfg.dup_prob:
+            kind = "dup"
+        else:
+            return None
+        self.counts[kind] += 1
+        self.last_fault = {"kind": kind, "sm": sm_id, "partition": partition}
+        return kind

@@ -1,0 +1,123 @@
+"""Crash-tolerant checkpoint/resume journal for long sweep campaigns.
+
+The :class:`~repro.harness.sweep.ResultCache` makes *identical* sweeps
+cheap, but it is keyed on the code fingerprint and lives in a shared
+directory — it answers "have I ever run this exact simulation", not
+"how far did *this campaign* get before it was killed".  The journal
+answers the second question:
+
+* **append-only JSONL** — a header line pinning the schema and the code
+  fingerprint, then one record per completed job:
+  ``{"key": <spec_hash>, "result": <metrics_dict>}``;
+* **atomic completion records** — each record is written, flushed and
+  ``fsync``-ed before the campaign moves on, so a SIGKILL between jobs
+  loses at most the job in flight;
+* **torn-tail tolerance** — a kill *during* a record write leaves a
+  partial last line; on reload the valid prefix is kept and the torn
+  tail is truncated away before appending resumes;
+* **fingerprint safety** — a journal written by different simulator
+  code must not resume (the results could differ); on mismatch the old
+  journal is discarded and rewritten, never silently reused.
+
+Keys are :meth:`JobSpec.spec_hash` values — content hashes of the
+canonical spec document *without* the code fingerprint (the header pins
+that once for the whole file).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+#: Schema tag of the journal header line; bump on layout changes.
+JOURNAL_SCHEMA = "repro.sweep-journal/v1"
+
+
+class SweepJournal:
+    """One campaign's completed-job log, safe to kill at any point."""
+
+    def __init__(self, path, fingerprint: str):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._results: Dict[str, dict] = {}
+        self.resumed = 0
+        self._fh = None
+        self._load_or_create()
+
+    # ------------------------------------------------------------------
+    def _load_or_create(self) -> None:
+        valid_bytes = 0
+        records: Dict[str, dict] = {}
+        header_ok = False
+        if self.path.exists():
+            raw = self.path.read_bytes()
+            offset = 0
+            for line in raw.split(b"\n"):
+                end = offset + len(line) + 1  # +1 for the newline
+                if not line:
+                    offset = end
+                    continue
+                try:
+                    doc = json.loads(line.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    break  # torn tail: keep the valid prefix only
+                if offset == 0:
+                    if (doc.get("schema") != JOURNAL_SCHEMA
+                            or doc.get("fingerprint") != self.fingerprint):
+                        break  # stale journal: discard entirely
+                    header_ok = True
+                elif "key" in doc and "result" in doc:
+                    records[doc["key"]] = doc["result"]
+                else:
+                    break  # malformed record: stop trusting the rest
+                valid_bytes = end if end <= len(raw) else len(raw)
+                offset = end
+
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if header_ok:
+            self._results = records
+            self.resumed = len(records)
+            # Truncate any torn tail so appends start on a line boundary.
+            if valid_bytes < self.path.stat().st_size:
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(valid_bytes)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        else:
+            # Fresh (or stale/corrupt-header) journal: rewrite.
+            self._fh = open(self.path, "w", encoding="utf-8")
+            self._append({"schema": JOURNAL_SCHEMA,
+                          "fingerprint": self.fingerprint})
+
+    def _append(self, doc: dict) -> None:
+        self._fh.write(json.dumps(doc, sort_keys=True,
+                                  separators=(",", ":")) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def get(self, key: str) -> Optional[dict]:
+        """The recorded result document for ``key``, or None."""
+        return self._results.get(key)
+
+    def record(self, key: str, result_doc: dict) -> None:
+        """Durably record one completed job (idempotent per key)."""
+        if key in self._results:
+            return
+        self._results[key] = result_doc
+        self._append({"key": key, "result": result_doc})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -7,6 +7,7 @@ from typing import Callable, Optional
 
 from repro.config import GPUConfig
 from repro.core.dab import DABConfig
+from repro.faults import FaultPlan
 from repro.gpudet.gpudet import GPUDetConfig
 from repro.obs import ObsConfig
 from repro.sim.gpu import GPU
@@ -60,6 +61,8 @@ def run_workload(
     jitter_icnt: int = 6,
     max_cycles: Optional[int] = None,
     obs: Optional[ObsConfig] = None,
+    faults: Optional[FaultPlan] = None,
+    invariants=False,
 ) -> SimResult:
     """Build a fresh workload instance and run it to completion.
 
@@ -67,7 +70,12 @@ def run_workload(
     architecture's label and the workload's output digest recorded in
     ``extra['output_digest']`` (the determinism check).  Pass an
     :class:`~repro.obs.ObsConfig` to collect metrics / a structured
-    trace; the hub is attached to the result as ``result.obs``.
+    trace; the hub is attached to the result as ``result.obs``.  Pass a
+    :class:`~repro.faults.FaultPlan` to arm deterministic fault
+    injection, and ``invariants=True`` (or an
+    :class:`~repro.faults.InvariantConfig`) to assert protocol
+    invariants at runtime; fault/checker tallies land in
+    ``extra['faults_injected']`` / ``extra['invariant_checks']``.
     """
     workload = factory()
     gpu = GPU(
@@ -79,9 +87,15 @@ def run_workload(
         if jitter else None,
         obs=obs,
         max_cycles=max_cycles,
+        faults=faults,
+        invariants=invariants,
     )
     result = workload.drive(gpu)
     result.label = arch.label
     result.extra["output_digest"] = workload.output_digest()
     result.extra["workload"] = workload.name
+    if gpu.faults is not None:
+        result.extra["faults_injected"] = gpu.faults.total_injected
+    if gpu.inv is not None:
+        result.extra["invariant_checks"] = gpu.inv.checks
     return result

@@ -26,11 +26,22 @@ without changing a single table byte:
 
 Failure semantics (documented contract, exercised by the integration
 tests): an exception raised *by the job itself* propagates to the
-caller; a worker process dying (``BrokenProcessPool``) is retried once
-in a fresh pool and then falls back to in-process execution; a job
-exceeding ``timeout`` seconds is retried once and then raises
-:class:`SweepTimeoutError` — a hang is never retried in-process, where
-it could not be interrupted.
+caller; a worker process dying (``BrokenProcessPool``) is retried in a
+fresh pool — with exponential backoff between attempts — and after
+``retries`` attempts the engine degrades gracefully to serial
+in-process execution (``serial_fallback=False`` raises
+:class:`SweepWorkerError` instead); a job exceeding ``timeout`` seconds
+is retried and then raises :class:`SweepTimeoutError` — a hang is never
+retried in-process, where it could not be interrupted.  Both error
+types carry ``.jobs``: the canonical spec hash and workload name of
+every failing job, so a failed chaos campaign is attributable and
+re-runnable.
+
+Long campaigns can pass ``journal=`` (a path or
+:class:`~repro.harness.journal.SweepJournal`): every completed job is
+durably appended before the sweep moves on, so a killed campaign
+resumes from the journal without recomputing cache misses and the
+resumed result table is byte-identical to an uninterrupted run.
 
 Observability hubs (tracers/metrics registries) are not picklable and
 must observe the run *in this process*: passing ``obs`` with ``jobs>1``
@@ -45,6 +56,7 @@ import enum
 import hashlib
 import json
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
@@ -55,6 +67,8 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import GPUConfig
+from repro.faults import FaultConfig, FaultPlan
+from repro.harness.journal import SweepJournal
 from repro.harness.runner import ArchSpec, run_workload
 from repro.obs import ObsConfig
 from repro.sim.results import SimResult
@@ -84,8 +98,25 @@ class SweepError(RuntimeError):
     """Sweep engine misuse or unrecoverable executor failure."""
 
 
-class SweepTimeoutError(SweepError):
-    """A job exceeded its per-job timeout (after one retry)."""
+class SweepJobError(SweepError):
+    """A sweep failure attributable to specific jobs.
+
+    ``jobs`` is a list of ``{"index", "workload", "spec_hash"}`` dicts —
+    the canonical spec hash and workload name of every failing job, so a
+    failed chaos campaign can be diagnosed and the exact jobs re-run.
+    """
+
+    def __init__(self, message: str, jobs=()):
+        super().__init__(message)
+        self.jobs = list(jobs)
+
+
+class SweepTimeoutError(SweepJobError):
+    """A job exceeded its per-job timeout (after retries)."""
+
+
+class SweepWorkerError(SweepJobError):
+    """Workers kept dying and serial fallback was disabled."""
 
 
 class UnknownWorkloadError(SweepError):
@@ -177,6 +208,12 @@ class JobSpec:
     jitter_dram: int = 16
     jitter_icnt: int = 6
     max_cycles: Optional[int] = None
+    #: armed fault plan config (chaos campaigns); None = no faults.
+    faults: Optional[FaultConfig] = None
+    #: seed of the fault plan (meaningful only with ``faults``).
+    fault_seed: int = 0
+    #: assert protocol invariants at runtime during this job.
+    invariants: bool = False
 
     def resolved_gpu(self) -> GPUConfig:
         return self.gpu if self.gpu is not None else GPUConfig.small()
@@ -186,6 +223,17 @@ class JobSpec:
         doc = _plain(self)
         doc["gpu"] = _plain(self.resolved_gpu())
         return doc
+
+    def spec_hash(self) -> str:
+        """Content hash of the canonical spec (no code fingerprint).
+
+        Stable across code changes — the identity used for journal keys
+        and failure attribution, where "which simulation was this"
+        matters and staleness is handled elsewhere (journal header).
+        """
+        payload = json.dumps(self.canonical(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def cache_key(self) -> str:
         payload = json.dumps(
@@ -302,6 +350,14 @@ class SweepConfig:
     cache: bool = True
     cache_dir: Optional[str] = None
     timeout: Optional[float] = None
+    #: pool attempts before giving up on parallel execution.
+    retries: int = 2
+    #: base of the exponential backoff between pool attempts (seconds):
+    #: sleep ``backoff * 2**(attempt-1)`` before attempt 2, 3, ...
+    backoff: float = 0.5
+    #: degrade to serial in-process execution when the pool keeps dying
+    #: (False raises SweepWorkerError instead).
+    serial_fallback: bool = True
 
 
 def _config_from_env() -> SweepConfig:
@@ -328,7 +384,10 @@ def get_config() -> SweepConfig:
 
 def configure(jobs: Optional[int] = None, cache: Optional[bool] = None,
               cache_dir: Optional[str] = None,
-              timeout: Optional[float] = None) -> SweepConfig:
+              timeout: Optional[float] = None,
+              retries: Optional[int] = None,
+              backoff: Optional[float] = None,
+              serial_fallback: Optional[bool] = None) -> SweepConfig:
     """Set session-wide defaults for :func:`run_jobs` (None = keep)."""
     cfg = get_config()
     if jobs is not None:
@@ -339,6 +398,12 @@ def configure(jobs: Optional[int] = None, cache: Optional[bool] = None,
         cfg.cache_dir = str(cache_dir)
     if timeout is not None:
         cfg.timeout = timeout
+    if retries is not None:
+        cfg.retries = max(1, int(retries))
+    if backoff is not None:
+        cfg.backoff = max(0.0, float(backoff))
+    if serial_fallback is not None:
+        cfg.serial_fallback = serial_fallback
     return cfg
 
 
@@ -370,7 +435,24 @@ def _execute_spec(spec: JobSpec, obs: Optional[ObsConfig] = None) -> SimResult:
         jitter_icnt=spec.jitter_icnt,
         max_cycles=spec.max_cycles,
         obs=obs,
+        faults=(FaultPlan(spec.fault_seed, spec.faults)
+                if spec.faults is not None else None),
+        invariants=spec.invariants,
     )
+
+
+def _job_ref(index: int, spec: JobSpec) -> Dict[str, object]:
+    """Attribution payload for one failing job (SweepJobError.jobs)."""
+    return {
+        "index": index,
+        "workload": spec.workload.factory,
+        "spec_hash": spec.spec_hash(),
+    }
+
+
+def _job_desc(ref: Dict[str, object]) -> str:
+    return (f"job {ref['index']} (workload={ref['workload']!r}, "
+            f"spec_hash={str(ref['spec_hash'])[:16]})")
 
 
 def run_jobs(
@@ -380,6 +462,7 @@ def run_jobs(
     cache_dir: Optional[str] = None,
     timeout: Optional[float] = None,
     obs: Optional[ObsConfig] = None,
+    journal=None,
 ) -> List[SimResult]:
     """Execute ``specs``; return results in submission order.
 
@@ -389,6 +472,12 @@ def run_jobs(
     not picklable and a cache hit would observe nothing) — requesting
     ``jobs>1`` together with ``obs`` is an error rather than a silent
     serialization.
+
+    ``journal`` (a path or open :class:`SweepJournal`) arms
+    checkpoint/resume: completed jobs are durably appended as the sweep
+    progresses, and on a re-run previously-journaled jobs are restored
+    (``extra['journal_hit'] = True``) instead of recomputed — a killed
+    campaign resumes to a byte-identical result table.
     """
     specs = list(specs)
     cfg = get_config()
@@ -404,33 +493,61 @@ def run_jobs(
             )
         return [_execute_spec(s, obs=obs) for s in specs]
 
+    jrnl: Optional[SweepJournal] = None
+    own_journal = False
+    if journal is not None:
+        if isinstance(journal, SweepJournal):
+            jrnl = journal
+        else:
+            jrnl = SweepJournal(journal, cache_fingerprint())
+            own_journal = True
+
     rcache = None
     if use_cache:
         rcache = ResultCache(cache_dir or cfg.cache_dir or default_cache_dir())
 
-    results: List[Optional[SimResult]] = [None] * len(specs)
-    misses: List[int] = []
-    for i, spec in enumerate(specs):
-        hit = rcache.get(spec) if rcache is not None else None
-        if hit is not None:
-            results[i] = hit
-        else:
-            misses.append(i)
+    try:
+        results: List[Optional[SimResult]] = [None] * len(specs)
+        misses: List[int] = []
+        for i, spec in enumerate(specs):
+            if jrnl is not None:
+                doc = jrnl.get(spec.spec_hash())
+                if doc is not None:
+                    res = SimResult.from_metrics_dict(doc)
+                    res.extra["journal_hit"] = True
+                    results[i] = res
+                    continue
+            hit = rcache.get(spec) if rcache is not None else None
+            if hit is not None:
+                results[i] = hit
+                if jrnl is not None:
+                    # Count the cache hit as campaign progress too.
+                    jrnl.record(spec.spec_hash(), hit.metrics_dict())
+            else:
+                misses.append(i)
 
-    if misses:
-        if jobs == 1 or len(misses) == 1:
-            for i in misses:
-                results[i] = _execute_spec(specs[i])
-        else:
-            computed = _run_parallel([specs[i] for i in misses],
-                                     jobs=min(jobs, len(misses)),
-                                     timeout=timeout)
-            for i, res in zip(misses, computed):
-                results[i] = res
-        if rcache is not None:
-            for i in misses:
-                rcache.put(specs[i], results[i])
-    return results  # type: ignore[return-value]
+        def _completed(i: int, res: SimResult) -> None:
+            results[i] = res
+            if rcache is not None:
+                rcache.put(specs[i], res)
+            if jrnl is not None:
+                jrnl.record(specs[i].spec_hash(), res.metrics_dict())
+
+        if misses:
+            if jobs == 1 or len(misses) == 1:
+                for i in misses:
+                    _completed(i, _execute_spec(specs[i]))
+            else:
+                _run_parallel(
+                    [specs[i] for i in misses],
+                    jobs=min(jobs, len(misses)),
+                    timeout=timeout,
+                    on_result=lambda j, res: _completed(misses[j], res),
+                )
+        return results  # type: ignore[return-value]
+    finally:
+        if own_journal and jrnl is not None:
+            jrnl.close()
 
 
 def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
@@ -446,22 +563,47 @@ def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
 
 
 def _run_parallel(specs: Sequence[JobSpec], jobs: int,
-                  timeout: Optional[float]) -> List[SimResult]:
+                  timeout: Optional[float],
+                  on_result=None) -> List[SimResult]:
+    """Fan ``specs`` out over a process pool with retry and degradation.
+
+    ``on_result(j, result)`` fires as each job's result is harvested (in
+    submission order) — the checkpoint-journal hook, so a campaign
+    killed mid-sweep has durably recorded every harvested job.
+    """
+    cfg = get_config()
+    attempts = max(1, cfg.retries)
     results: List[Optional[SimResult]] = [None] * len(specs)
     pending = list(range(len(specs)))
     reasons: Dict[int, str] = {}
 
-    for _attempt in range(2):  # initial run + one retry
+    def _harvested(j: int, res: SimResult) -> None:
+        results[j] = res
+        if on_result is not None:
+            on_result(j, res)
+
+    for attempt in range(attempts):
         if not pending:
             break
+        if attempt:
+            # Exponential backoff: give a dying machine (OOM pressure,
+            # fork storms) room to recover before the next pool.
+            time.sleep(cfg.backoff * (2 ** (attempt - 1)))
         reasons = {}
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
         try:
-            futures = {j: pool.submit(_execute_spec, specs[j])
-                       for j in pending}
+            futures = {}
             for j in pending:
                 try:
-                    results[j] = futures[j].result(timeout=timeout)
+                    futures[j] = pool.submit(_execute_spec, specs[j])
+                except (BrokenProcessPool, OSError, RuntimeError):
+                    # The pool died while we were still submitting.
+                    reasons[j] = "broken"
+            for j in pending:
+                if j not in futures:
+                    continue
+                try:
+                    _harvested(j, futures[j].result(timeout=timeout))
                 except _FuturesTimeout:
                     reasons[j] = "timeout"
                 except (BrokenProcessPool, OSError):
@@ -477,12 +619,23 @@ def _run_parallel(specs: Sequence[JobSpec], jobs: int,
 
     timed_out = [j for j in pending if reasons.get(j) == "timeout"]
     if timed_out:
+        refs = [_job_ref(j, specs[j]) for j in timed_out]
         raise SweepTimeoutError(
             f"{len(timed_out)} job(s) exceeded the {timeout}s per-job "
-            f"timeout after a retry (first: {specs[timed_out[0]]})"
+            f"timeout after {attempts} attempt(s): "
+            + "; ".join(_job_desc(r) for r in refs),
+            jobs=refs,
         )
-    # Worker death survivors: graceful in-process fallback.  An
+    if pending and not cfg.serial_fallback:
+        refs = [_job_ref(j, specs[j]) for j in pending]
+        raise SweepWorkerError(
+            f"worker pool died on {len(pending)} job(s) across {attempts} "
+            f"attempt(s) and serial fallback is disabled: "
+            + "; ".join(_job_desc(r) for r in refs),
+            jobs=refs,
+        )
+    # Worker death survivors: graceful in-process degradation.  An
     # exception here is the job's own and propagates normally.
     for j in pending:
-        results[j] = _execute_spec(specs[j])
+        _harvested(j, _execute_spec(specs[j]))
     return results  # type: ignore[return-value]

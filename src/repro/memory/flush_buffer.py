@@ -34,8 +34,12 @@ class FlushBufferStats:
 class FlushReorderBuffer:
     """Reorders one flush round's entries into round-robin-across-SM order."""
 
-    def __init__(self, reorder: bool = True):
+    def __init__(self, reorder: bool = True, inv=None, partition_id: int = -1):
         self.reorder = reorder
+        #: runtime invariant checker (None = checking off); it shadows
+        #: the round independently, so buffer and checker must *agree*.
+        self.inv = inv
+        self.partition_id = partition_id
         self.stats = FlushBufferStats()
         self._expected: Dict[int, int] = {}      # sm_id -> announced count
         self._received: Dict[int, int] = {}      # sm_id -> next seq expected
@@ -87,6 +91,10 @@ class FlushReorderBuffer:
         deterministic commit order; with ``reorder=False`` (DAB-NR) the
         entry is released immediately in arrival order.
         """
+        if self.inv is not None:
+            # Raises a structured InvariantViolation (naming cycle, unit
+            # and fault) ahead of the bare errors below.
+            self.inv.on_flush_arrival(self.partition_id, sm_id)
         if not self._open:
             raise RuntimeError("flush entry received outside a round")
         if sm_id not in self._expected:
@@ -113,6 +121,8 @@ class FlushReorderBuffer:
             if key not in self._pending:
                 break
             ready.append(self._pending.pop(key))
+            if self.inv is not None:
+                self.inv.on_flush_release(self.partition_id, key[0], key[1])
             self._order_pos += 1
         self._maybe_close()
         return ready

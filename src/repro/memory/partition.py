@@ -47,10 +47,16 @@ class MemoryPartition:
         dram_jitter=None,
         model_virtual_write_queue: bool = False,
         obs=None,
+        faults=None,
+        inv=None,
     ):
         self.partition_id = partition_id
         self.config = config
         self.obs = obs
+        #: fault injector (transient service stalls); None = no faults.
+        self.faults = faults
+        #: runtime invariant checker; None = checking off (zero cost).
+        self.inv = inv
         self.l2 = SectorCache(config.l2_cache_per_partition)
         self.rop = ROPUnit(mem, config.rop_latency)
         self.dram = DRAMModel(
@@ -67,8 +73,19 @@ class MemoryPartition:
         self.model_virtual_write_queue = model_virtual_write_queue
 
     # -- ordinary requests ------------------------------------------------
+    def _stalled(self, now: int) -> int:
+        """Apply any injected transient partition stall to ``now``."""
+        if self.faults is None:
+            return now
+        extra = self.faults.partition_stall(self.partition_id, now)
+        if extra and self.obs is not None:
+            self.obs.emit_at(now, "fault", "partition_stall",
+                             partition=self.partition_id, cycles=extra)
+        return now + extra
+
     def service_request(self, now: int, addr: int, is_write: bool) -> Tuple[int, bool]:
         """Service one sector request; return (completion_cycle, l2_hit)."""
+        now = self._stalled(now)
         hit = self.l2.access(addr, write=is_write)
         if is_write:
             self.stats.writes += 1
@@ -90,6 +107,7 @@ class MemoryPartition:
         Returns (old_value, completion_cycle).  Atomics execute at the L2
         (sector brought in if absent) and occupy the ROP serially.
         """
+        now = self._stalled(now)
         self.l2.access(op.addr, write=True)
         self.stats.atomics += 1
         start = now + self.config.l2_cache_per_partition.hit_latency
@@ -97,7 +115,11 @@ class MemoryPartition:
 
     # -- DAB deterministic flush path ----------------------------------------
     def begin_flush_round(self, expected_counts: Dict[int, int], reorder: bool = True) -> None:
-        self.flush_reorder = FlushReorderBuffer(reorder=reorder)
+        if self.inv is not None:
+            self.inv.begin_flush_round(self.partition_id, expected_counts)
+        self.flush_reorder = FlushReorderBuffer(
+            reorder=reorder, inv=self.inv, partition_id=self.partition_id
+        )
         self.flush_reorder.begin_round(expected_counts)
 
     def receive_flush_entry(
@@ -131,6 +153,7 @@ class MemoryPartition:
 
     def apply_flush_ops(self, now: int, ops: List[AtomicOp]) -> List[Tuple[float, int]]:
         """Apply a transaction's ops at the ROP (deterministic path tail)."""
+        now = self._stalled(now)
         applied = []
         for op in ops:
             self.l2.access(op.addr, write=True)

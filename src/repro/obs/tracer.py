@@ -19,7 +19,8 @@ from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Every category the simulator emits (CLI validates filters against it).
-CATEGORIES = ("buffer", "sched", "flush", "partition", "dispatch", "kernel")
+CATEGORIES = ("buffer", "sched", "flush", "partition", "dispatch", "kernel",
+              "fault")
 
 
 class TraceEvent(Tuple):

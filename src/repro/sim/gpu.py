@@ -25,6 +25,7 @@ from repro.arch.warp import MemRequestSpec, Warp
 from repro.config import GPUConfig
 from repro.core.dab import DABConfig
 from repro.core.flush import FlushController
+from repro.faults import FaultInjector, FaultPlan, InvariantChecker, InvariantConfig
 from repro.interconnect.network import Network
 from repro.memory.address import AddressMap
 from repro.memory.globalmem import GlobalMemory
@@ -57,6 +58,8 @@ class GPU:
         model_virtual_write_queue: bool = False,
         obs: Optional[ObsConfig] = None,
         max_cycles: Optional[int] = None,
+        faults: Optional[FaultPlan] = None,
+        invariants=False,
     ):
         if dab is not None and gpudet is not None:
             raise ValueError("choose at most one of dab / gpudet")
@@ -77,6 +80,22 @@ class GPU:
         self.obs: Optional[Observability] = (
             Observability(obs) if obs is not None and obs.enabled else None
         )
+        #: fault injector; None when no plan is armed, so every injection
+        #: seam reduces to one attribute test (same contract as ``obs``).
+        self.faults: Optional[FaultInjector] = (
+            faults.injector() if faults is not None else None
+        )
+        #: runtime invariant checker; same ``None``-when-off contract.
+        self.inv: Optional[InvariantChecker] = None
+        if invariants:
+            inv_cfg = (invariants if isinstance(invariants, InvariantConfig)
+                       else InvariantConfig())
+            self.inv = InvariantChecker(
+                inv_cfg,
+                fault_source=(self.faults.describe_last
+                              if self.faults is not None else None),
+                obs=self.obs,
+            )
         self.addr_map = AddressMap(
             line_bytes=config.l2_cache_per_partition.line_bytes,
             sector_bytes=config.l2_cache_per_partition.sector_bytes,
@@ -85,11 +104,29 @@ class GPU:
 
         dram_jitter = jitter.dram if jitter is not None else None
         icnt_jitter = jitter.icnt if jitter is not None else None
+        fi = self.faults
+        if fi is not None:
+            # Compose fault amplification onto the base jitter.  The
+            # per-partition DRAM closure routes each channel to its own
+            # burst substream.
+            def _dram_for(p, base=dram_jitter):
+                def _jit():
+                    return (base() if base is not None else 0) + fi.dram_extra(p)
+                return _jit
+
+            def _icnt(base=icnt_jitter):
+                return (base() if base is not None else 0) + fi.icnt_extra()
+
+            dram_jitters = [_dram_for(p)
+                            for p in range(config.num_mem_partitions)]
+            icnt_jitter = _icnt
+        else:
+            dram_jitters = [dram_jitter] * config.num_mem_partitions
         self.partitions = [
             MemoryPartition(
-                p, config, mem, dram_jitter=dram_jitter,
+                p, config, mem, dram_jitter=dram_jitters[p],
                 model_virtual_write_queue=model_virtual_write_queue,
-                obs=self.obs,
+                obs=self.obs, faults=fi, inv=self.inv,
             )
             for p in range(config.num_mem_partitions)
         ]
@@ -240,6 +277,8 @@ class GPU:
             arr = self.net_fwd.send(
                 now, sm.cluster_id, p, REQUEST_BYTES + 9 * len(ops)
             )
+            if self.faults is not None:
+                arr = self.faults.deliver_at(sm.sm_id, p, arr)
             self.schedule(arr, self._red_at_partition, (p, ops))
 
     def _red_at_partition(self, now: int, args) -> None:
@@ -261,6 +300,8 @@ class GPU:
             arr = self.net_fwd.send(
                 now, sm.cluster_id, p, REQUEST_BYTES + 9 * len(items)
             )
+            if self.faults is not None:
+                arr = self.faults.deliver_at(sm.sm_id, p, arr)
             self.schedule(
                 arr, self._atom_at_partition, (p, sm, warp, spec.atom_dst, items)
             )
@@ -387,6 +428,8 @@ class GPU:
             progressed = False
             if obs is not None:
                 obs.cycle = self.cycle
+            if self.inv is not None:
+                self.inv.cycle = self.cycle
 
             if prof is not None:
                 t0 = prof.start()
@@ -464,6 +507,11 @@ class GPU:
                 self.cycle, quiesced=True
             ):
                 continue
+            if self.inv is not None:
+                # Turn a silent protocol hang (e.g. a dropped flush
+                # entry) into a structured violation before the generic
+                # deadlock error.
+                self.inv.explain_deadlock(self.cycle, self.flush)
             raise SimulationError(
                 f"deadlock at cycle {self.cycle}: no events, no issuable warps "
                 f"(kernel={self._current.name if self._current else None})"

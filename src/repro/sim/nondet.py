@@ -22,14 +22,34 @@ from __future__ import annotations
 
 import numpy as np
 
+#: Magnitude cap: a per-access jitter larger than this is a config bug,
+#: and numpy's integers() would fail much less legibly downstream.
+MAX_JITTER = 1_000_000
+
 
 class JitterSource:
     """Seeded latency perturbation."""
 
     def __init__(self, seed: int, dram_max: int = 16, icnt_max: int = 6):
-        if dram_max < 0 or icnt_max < 0:
-            raise ValueError("jitter magnitudes must be non-negative")
-        self.seed = seed
+        if isinstance(seed, bool) or not isinstance(seed, (int, np.integer)):
+            raise ValueError(f"jitter seed must be an integer, got {seed!r}")
+        if seed < 0:
+            raise ValueError(f"jitter seed must be non-negative, got {seed}")
+        for name, v in (("dram_max", dram_max), ("icnt_max", icnt_max)):
+            if isinstance(v, bool) or not isinstance(v, (int, np.integer)):
+                raise ValueError(
+                    f"jitter magnitude {name} must be an integer, got {v!r}"
+                )
+            if v < 0:
+                raise ValueError(
+                    f"jitter magnitude {name} must be non-negative, got {v}"
+                )
+            if v > MAX_JITTER:
+                raise ValueError(
+                    f"jitter magnitude {name}={v} exceeds the cap of "
+                    f"{MAX_JITTER} cycles"
+                )
+        self.seed = int(seed)
         self.dram_max = dram_max
         self.icnt_max = icnt_max
         self._rng = np.random.default_rng(seed)

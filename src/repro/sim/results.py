@@ -156,7 +156,8 @@ class SimResult:
         flush = dict(doc.get("flush", {}))
         icnt = dict(doc.get("icnt", {}))
         extra = dict(doc.get("extra", {}))
-        extra.pop("cache_hit", None)  # provenance, not simulation output
+        extra.pop("cache_hit", None)    # provenance, not simulation output
+        extra.pop("journal_hit", None)  # likewise
         return cls(
             label=str(doc.get("label", "")),
             cycles=int(doc["cycles"]),

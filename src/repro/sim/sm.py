@@ -51,6 +51,7 @@ class SM:
         self.total_slots = cfg.max_warps_per_sm
 
         self.obs = getattr(gpu, "obs", None)
+        self.inv = getattr(gpu, "inv", None)
         sched_name = gpu.dab.scheduler if gpu.dab is not None else cfg.baseline_scheduler
         self.schedulers = [
             make_scheduler(sched_name, self.slots_per_scheduler)
@@ -79,6 +80,7 @@ class SM:
                 AtomicBuffer(
                     self.dab.buffer_entries, fusion=self.dab.fusion,
                     obs=self.obs, name=f"sm.{sm_id}.{kind}.{i}", sm_id=sm_id,
+                    inv=self.inv,
                 )
                 for i in range(count)
             ]
@@ -550,6 +552,10 @@ class SM:
             self._issue_store(now, warp, spec.sectors)
         elif spec.kind == "red":
             if self.dab is not None:
+                if self.inv is not None:
+                    self.inv.check_batch_order(
+                        self.sm_id, warp.batch, self.current_batch
+                    )
                 buf = self.buffer_for(warp)
                 buf.insert(spec.red_ops)
                 warp.buffered_reds += len(spec.red_ops)

@@ -1,0 +1,176 @@
+"""Unit tests for repro.faults.plan: validation, caps, injector
+semantics (the seeded-chaos building blocks)."""
+
+import pytest
+
+from repro.faults import (
+    FaultConfig,
+    FaultPlan,
+    MAX_BURST_LEN,
+    MAX_EXTRA_CYCLES,
+    MAX_STALL_WINDOWS,
+)
+from repro.sim.nondet import JitterSource
+
+
+class TestFaultConfigValidation:
+    def test_defaults_inject_nothing(self):
+        cfg = FaultConfig()
+        assert not cfg.any_active
+        assert not cfg.is_corrupting
+        inj = FaultPlan(1, cfg).injector()
+        assert inj.dram_extra(0) == 0
+        assert inj.icnt_extra() == 0
+        assert inj.deliver_at(0, 0, 42) == 42
+        assert inj.partition_stall(0, 100) == 0
+        assert inj.preflush_delay(0, 0) == 0
+        assert inj.flush_entry_action(0, 0) is None
+        assert inj.total_injected == 0
+
+    @pytest.mark.parametrize("field", [
+        "dram_burst_prob", "icnt_spike_prob", "reorder_prob",
+        "preflush_delay_prob", "drop_prob", "dup_prob",
+    ])
+    @pytest.mark.parametrize("bad", [-0.1, 1.5, "x", None, True])
+    def test_probabilities_validated(self, field, bad):
+        with pytest.raises(ValueError, match=field):
+            FaultConfig(**{field: bad})
+
+    @pytest.mark.parametrize("field", [
+        "dram_burst_extra", "icnt_spike_max", "reorder_max_delay",
+        "stall_len", "preflush_max_delay",
+    ])
+    def test_cycle_magnitudes_validated(self, field):
+        with pytest.raises(ValueError, match=field):
+            FaultConfig(**{field: -1})
+        with pytest.raises(ValueError, match="cap"):
+            FaultConfig(**{field: MAX_EXTRA_CYCLES + 1})
+        FaultConfig(**{field: MAX_EXTRA_CYCLES})  # at the cap: fine
+
+    def test_burst_len_cap(self):
+        with pytest.raises(ValueError, match="dram_burst_len"):
+            FaultConfig(dram_burst_len=MAX_BURST_LEN + 1)
+        with pytest.raises(ValueError, match="dram_burst_len"):
+            FaultConfig(dram_burst_len=-3)
+
+    def test_stall_windows_cap(self):
+        with pytest.raises(ValueError, match="stall_windows"):
+            FaultConfig(stall_windows=MAX_STALL_WINDOWS + 1)
+
+    def test_drop_plus_dup_bounded(self):
+        with pytest.raises(ValueError, match="drop_prob"):
+            FaultConfig(drop_prob=0.6, dup_prob=0.6)
+
+    def test_corrupting_flag(self):
+        assert FaultConfig(drop_prob=0.1).is_corrupting
+        assert FaultConfig(dup_prob=0.1).is_corrupting
+        assert not FaultConfig(reorder_prob=0.9,
+                               reorder_max_delay=8).is_corrupting
+
+
+class TestSeedValidation:
+    @pytest.mark.parametrize("bad", [-1, -7, 1.5, "3", None, True])
+    def test_plan_rejects_bad_seeds(self, bad):
+        with pytest.raises(ValueError, match="seed"):
+            FaultPlan(bad, FaultConfig())
+
+    def test_plan_rejects_non_config(self):
+        with pytest.raises(ValueError, match="FaultConfig"):
+            FaultPlan(1, {"drop_prob": 0.5})
+
+    @pytest.mark.parametrize("bad", [-1, 2.5, "3", None, True])
+    def test_jitter_source_rejects_bad_seeds(self, bad):
+        with pytest.raises(ValueError, match="seed"):
+            JitterSource(seed=bad)
+
+    def test_jitter_source_rejects_bad_magnitudes(self):
+        with pytest.raises(ValueError, match="dram_max"):
+            JitterSource(seed=1, dram_max=-1)
+        with pytest.raises(ValueError, match="icnt_max"):
+            JitterSource(seed=1, icnt_max=10**9)
+
+
+class TestInjectorSemantics:
+    def test_dram_bursts_are_per_partition(self):
+        cfg = FaultConfig(dram_burst_prob=0.5, dram_burst_len=4,
+                          dram_burst_extra=100)
+        a = FaultPlan(5, cfg).injector()
+        b = FaultPlan(5, cfg).injector()
+        # Partition streams are independent: interrogating partition 1
+        # first must not change partition 0's schedule.
+        seq_a = [a.dram_extra(0) for _ in range(64)]
+        _ = [b.dram_extra(1) for _ in range(64)]
+        seq_b = [b.dram_extra(0) for _ in range(64)]
+        assert seq_a == seq_b
+        assert set(seq_a) <= {0, 100}
+
+    def test_burst_length_respected(self):
+        cfg = FaultConfig(dram_burst_prob=1.0, dram_burst_len=3,
+                          dram_burst_extra=7)
+        inj = FaultPlan(9, cfg).injector()
+        # prob=1.0: every access is in a burst; extras are always 7.
+        assert [inj.dram_extra(0) for _ in range(10)] == [7] * 10
+
+    def test_stall_windows_sorted_and_sized(self):
+        cfg = FaultConfig(stall_windows=6, stall_len=50, stall_horizon=1000)
+        inj = FaultPlan(3, cfg).injector()
+        windows = inj.stall_windows_for(0)
+        assert len(windows) == 6
+        starts = [s for s, _ in windows]
+        assert starts == sorted(starts)
+        for s, e in windows:
+            assert e - s == 50
+            assert 0 <= s < 1000
+        # Inside a window the stall runs to the window's end.
+        s0, e0 = windows[0]
+        assert inj.partition_stall(0, s0) == 50
+        assert inj.partition_stall(0, e0 - 1) == 1
+        assert inj.partition_stall(0, e0) in (0, *[e - e0 for _s, e in windows[1:]])
+
+    def test_deliver_at_same_channel_fifo(self):
+        cfg = FaultConfig(reorder_prob=1.0, reorder_max_delay=40)
+        inj = FaultPlan(2, cfg).injector()
+        times = [inj.deliver_at(1, 0, t) for t in (10, 11, 12, 13, 14)]
+        assert times == sorted(times)
+        assert all(t >= sent for t, sent in zip(times, (10, 11, 12, 13, 14)))
+
+    def test_deliver_at_cross_channel_can_reorder(self):
+        cfg = FaultConfig(reorder_prob=1.0, reorder_max_delay=200)
+        inj = FaultPlan(4, cfg).injector()
+        # Two sources sending at the same instant may be delayed by
+        # different amounts — that is the point of the fault.
+        a = [inj.deliver_at(0, 0, 100 + i) for i in range(16)]
+        b = [inj.deliver_at(1, 0, 100 + i) for i in range(16)]
+        assert a != b
+
+    def test_counts_tally_injections(self):
+        cfg = FaultConfig(icnt_spike_prob=1.0, icnt_spike_max=10)
+        inj = FaultPlan(6, cfg).injector()
+        for _ in range(5):
+            assert inj.icnt_extra() > 0
+        assert inj.counts["icnt_spike"] == 5
+        assert inj.total_injected == 5
+
+    def test_corruption_blame_string(self):
+        cfg = FaultConfig(drop_prob=1.0)
+        inj = FaultPlan(8, cfg).injector()
+        assert inj.describe_last() is None
+        assert inj.flush_entry_action(3, 1) == "drop"
+        assert inj.describe_last() == (
+            "drop of flush txn from sm 3 to partition 1 (fault seed 8)"
+        )
+        assert inj.counts["drop"] == 1
+
+
+class TestPlanIdentity:
+    def test_schedule_digest_distinguishes_seeds(self):
+        cfg = FaultConfig(reorder_prob=0.5, reorder_max_delay=32)
+        assert (FaultPlan(1, cfg).schedule_digest()
+                != FaultPlan(2, cfg).schedule_digest())
+
+    def test_sample_varies_with_seed(self):
+        assert FaultPlan.sample(1).config != FaultPlan.sample(2).config
+
+    def test_sample_corruption_arms_drops_only_when_asked(self):
+        assert not FaultPlan.sample(5).config.is_corrupting
+        assert FaultPlan.sample(5, corruption=True).config.drop_prob > 0

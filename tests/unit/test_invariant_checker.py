@@ -1,0 +1,179 @@
+"""Unit tests for repro.faults.invariants: each invariant in the
+catalog is deliberately violated and must raise a structured
+InvariantViolation naming the invariant, cycle, and unit."""
+
+import pytest
+
+from repro.faults import InvariantChecker, InvariantConfig, InvariantViolation
+
+
+def make_checker(cycle=0, fault=None, **flags):
+    chk = InvariantChecker(
+        InvariantConfig(**flags) if flags else None,
+        fault_source=(lambda: fault) if fault is not None else None,
+    )
+    chk.cycle = cycle
+    return chk
+
+
+class TestBufferCapacity:
+    def test_overflow_raises_with_payload(self):
+        chk = make_checker(cycle=123)
+        with pytest.raises(InvariantViolation) as ei:
+            chk.check_buffer_occupancy("sm.2.sched.1", 65, 64)
+        v = ei.value
+        assert v.invariant == "buffer_capacity"
+        assert v.cycle == 123
+        assert v.unit == "sm.2.sched.1"
+        assert "65" in v.detail and "64" in v.detail
+        assert chk.violations == 1
+
+    def test_at_capacity_is_fine(self):
+        chk = make_checker()
+        chk.check_buffer_occupancy("sm.0.red.0", 64, 64)
+        assert chk.checks == 1
+        assert chk.violations == 0
+
+    def test_gated_off_by_config(self):
+        chk = make_checker(buffer_capacity=False)
+        chk.check_buffer_occupancy("b", 99, 1)  # no raise
+
+
+class TestBatchOrder:
+    def test_future_batch_raises(self):
+        chk = make_checker(cycle=77)
+        with pytest.raises(InvariantViolation) as ei:
+            chk.check_batch_order(3, warp_batch=2, current_batch=1)
+        v = ei.value
+        assert v.invariant == "batch_order"
+        assert v.cycle == 77
+        assert v.unit == "sm.3"
+
+    def test_current_and_past_batches_fine(self):
+        chk = make_checker()
+        chk.check_batch_order(0, warp_batch=1, current_batch=1)
+        chk.check_batch_order(0, warp_batch=0, current_batch=1)
+        assert chk.violations == 0
+
+
+class TestFlushCounts:
+    def test_arrival_outside_any_round(self):
+        chk = make_checker(cycle=10)
+        with pytest.raises(InvariantViolation) as ei:
+            chk.on_flush_arrival(0, 1)
+        assert ei.value.invariant == "flush_counts"
+        assert ei.value.unit == "partition.0"
+        assert "outside" in ei.value.detail
+
+    def test_unannounced_sm(self):
+        chk = make_checker(cycle=11)
+        chk.begin_flush_round(2, {0: 2, 1: 1})
+        with pytest.raises(InvariantViolation) as ei:
+            chk.on_flush_arrival(2, 5)
+        assert ei.value.unit == "partition.2"
+        assert "unannounced sm 5" in ei.value.detail
+
+    def test_over_announce(self):
+        chk = make_checker(cycle=12)
+        chk.begin_flush_round(0, {1: 1})
+        chk.on_flush_arrival(0, 1)
+        with pytest.raises(InvariantViolation) as ei:
+            chk.on_flush_arrival(0, 1)
+        assert "more entries than announced" in ei.value.detail
+        assert "expected 1" in ei.value.detail
+
+    def test_new_round_over_incomplete_round(self):
+        chk = make_checker(cycle=13)
+        chk.begin_flush_round(1, {0: 2})
+        chk.on_flush_arrival(1, 0)
+        with pytest.raises(InvariantViolation) as ei:
+            chk.begin_flush_round(1, {0: 1})
+        assert ei.value.unit == "partition.1"
+        assert "previous round incomplete" in ei.value.detail
+        assert "sm 0: got 1/2" in ei.value.detail
+
+    def test_late_arrival(self):
+        chk = make_checker(cycle=14)
+        with pytest.raises(InvariantViolation) as ei:
+            chk.on_late_arrival(3, 2)
+        assert ei.value.unit == "partition.3"
+        assert "after its flush completed" in ei.value.detail
+
+    def test_deadlock_postmortem_names_short_round(self):
+        chk = make_checker()
+        chk.begin_flush_round(0, {0: 3, 1: 1})
+        chk.on_flush_arrival(0, 0)
+        chk.on_flush_arrival(0, 1)
+        with pytest.raises(InvariantViolation) as ei:
+            chk.explain_deadlock(999, None)
+        v = ei.value
+        assert v.invariant == "flush_counts"
+        assert v.cycle == 999
+        assert v.unit == "partition.0"
+        assert "sm 0: got 1/3" in v.detail
+
+    def test_complete_rounds_quiet(self):
+        chk = make_checker()
+        chk.begin_flush_round(0, {0: 1, 1: 1})
+        chk.on_flush_arrival(0, 0)
+        chk.on_flush_arrival(0, 1)
+        chk.explain_deadlock(50, None)  # nothing incomplete: no raise
+        chk.begin_flush_round(0, {0: 1})  # next round over a complete one
+        assert chk.violations == 0
+
+
+class TestRopOrder:
+    def test_out_of_order_release_raises(self):
+        chk = make_checker(cycle=21)
+        chk.begin_flush_round(0, {0: 2, 1: 1})
+        # round-robin across SMs: (0,0), (1,0), (0,1)
+        chk.on_flush_release(0, 0, 0)
+        with pytest.raises(InvariantViolation) as ei:
+            chk.on_flush_release(0, 0, 1)  # should be (1, 0)
+        v = ei.value
+        assert v.invariant == "rop_order"
+        assert v.unit == "partition.0"
+        assert "(sm 1, seq 0)" in v.detail
+
+    def test_in_order_release_quiet(self):
+        chk = make_checker()
+        chk.begin_flush_round(0, {0: 2, 1: 1})
+        for sm, seq in ((0, 0), (1, 0), (0, 1)):
+            chk.on_flush_release(0, sm, seq)
+        assert chk.violations == 0
+
+    def test_gated_off_by_config(self):
+        chk = make_checker(rop_order=False)
+        chk.begin_flush_round(0, {0: 1, 1: 1})
+        chk.on_flush_release(0, 1, 0)  # wrong order, but not armed
+        assert chk.violations == 0
+
+
+class TestViolationPayload:
+    def test_fault_blame_appended(self):
+        chk = make_checker(cycle=5, fault="drop of flush txn from sm 1 "
+                                          "to partition 0 (fault seed 7)")
+        with pytest.raises(InvariantViolation) as ei:
+            chk.check_buffer_occupancy("b", 2, 1)
+        assert ei.value.fault is not None
+        assert "active fault: drop" in str(ei.value)
+
+    def test_message_shape(self):
+        chk = make_checker(cycle=42)
+        with pytest.raises(InvariantViolation) as ei:
+            chk.check_buffer_occupancy("sm.0.red.1", 9, 8)
+        assert str(ei.value).startswith(
+            "invariant 'buffer_capacity' violated at cycle 42 in sm.0.red.1"
+        )
+
+    def test_is_runtime_error(self):
+        assert issubclass(InvariantViolation, RuntimeError)
+
+    def test_checks_counter_counts_all_sites(self):
+        chk = make_checker()
+        chk.check_buffer_occupancy("b", 0, 4)
+        chk.check_batch_order(0, 0, 0)
+        chk.begin_flush_round(0, {0: 1})
+        chk.on_flush_arrival(0, 0)
+        chk.on_flush_release(0, 0, 0)
+        assert chk.checks == 5

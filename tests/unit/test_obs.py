@@ -172,5 +172,6 @@ class TestObservabilityHub:
 
     def test_categories_cover_emitters(self):
         assert set(CATEGORIES) == {
-            "buffer", "sched", "flush", "partition", "dispatch", "kernel"
+            "buffer", "sched", "flush", "partition", "dispatch", "kernel",
+            "fault",
         }
