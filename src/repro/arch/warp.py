@@ -45,6 +45,12 @@ class MemRequestSpec:
     #: for atom: (lane, AtomicOp) pairs plus the destination register.
     atom_ops: Tuple[Tuple[int, AtomicOp], ...] = ()
     atom_dst: Optional[str] = None
+    #: exact per-lane word addresses / global thread ids of the active
+    #: lanes, captured only when ``Warp.capture_addrs`` is set (the race
+    #: certifier's ``access`` trace needs word-granular addresses, which
+    #: the sector list cannot recover).
+    addrs: Tuple[int, ...] = ()
+    gtids: Tuple[int, ...] = ()
 
 
 @dataclass
@@ -70,7 +76,7 @@ class Warp:
         "ready_cycle", "outstanding_loads", "outstanding_stores",
         "outstanding_atoms", "at_barrier", "exited", "dyn_instrs",
         "dyn_atomics", "sleep_until", "launched_cycle", "fence_arrived_at",
-        "buffered_reds", "_red_cache",
+        "buffered_reds", "_red_cache", "capture_addrs",
     )
 
     def __init__(
@@ -119,6 +125,9 @@ class Warp:
         #: barrier whose warps all have 0 here needs no fence flush.
         self.buffered_reds = 0
         self._red_cache = None  # (dyn_instrs, pc, ops) memo for peek_red_ops
+        #: when True, memory StepResults carry exact per-lane addresses
+        #: and gtids (race-certification tracing; off on the hot path).
+        self.capture_addrs = False
 
     # ------------------------------------------------------------------
     def _init_special_registers(self, first_thread: int, lanes: np.ndarray, in_cta) -> None:
@@ -346,6 +355,11 @@ class Warp:
             self.dyn_atomics += 1
             spec = MemRequestSpec(kind="atom", sectors=sectors, atom_ops=ops,
                                   atom_dst=ins.dst)
+
+        if self.capture_addrs:
+            gtid = self.regs["%gtid"]
+            spec.addrs = tuple(int(a) for a in act_addrs)
+            spec.gtids = tuple(int(gtid[l]) for l in lane_ids)
 
         self.stack.advance()
         return StepResult(ins, oc, active, mem=spec)

@@ -1,0 +1,64 @@
+"""Conformance subsystem: reference oracle, differential harness, DRF
+certification.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.check.oracle` — an ISA-level functional interpreter that
+  executes workloads warp-sequentially with *order-independent*
+  reduction application, producing golden final-memory images and
+  atomic-commit multisets;
+* :mod:`repro.check.differential` — runs the full workload ×
+  architecture matrix through the sweep layer and diffs final memory,
+  reduction multisets, and fp32 outputs against the oracle;
+* :mod:`repro.check.racecert` — a vector-clock happens-before checker
+  over the access trace, certifying workloads data-race-free (DAB's
+  weak-determinism precondition) or naming the conflicting accesses.
+
+``repro check diff`` / ``repro check drf`` expose these on the CLI.
+"""
+
+from repro.check.differential import (
+    DiffReport,
+    Mismatch,
+    diff_one,
+    run_differential,
+)
+from repro.check.oracle import (
+    OracleError,
+    OracleGPU,
+    OracleResult,
+    run_oracle,
+    summarize_reds,
+)
+from repro.check.presets import (
+    CERT_WORKLOADS,
+    DIFF_WORKLOADS,
+    WorkloadPolicy,
+    diff_archs,
+)
+from repro.check.racecert import (
+    RaceRecord,
+    RaceReport,
+    certify_all,
+    certify_drf,
+)
+
+__all__ = [
+    "CERT_WORKLOADS",
+    "DIFF_WORKLOADS",
+    "DiffReport",
+    "Mismatch",
+    "OracleError",
+    "OracleGPU",
+    "OracleResult",
+    "RaceRecord",
+    "RaceReport",
+    "WorkloadPolicy",
+    "certify_all",
+    "certify_drf",
+    "diff_archs",
+    "diff_one",
+    "run_differential",
+    "run_oracle",
+    "summarize_reds",
+]

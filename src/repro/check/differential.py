@@ -1,0 +1,510 @@
+"""Differential harness: every architecture vs the reference oracle.
+
+For each (workload, architecture) cell of the conformance matrix this
+module runs the cycle-level simulator — through the existing sweep
+``JobSpec`` layer, so ``--jobs N`` parallelism, retries and provenance
+come for free — and diffs three artifacts against the oracle's image:
+
+1. **final memory** — bitwise for integer/unreduced buffers, within an
+   analytic fp32-rounding bound for buffers receiving ``red.add.f32``
+   (`ATOL_SCALE * count * 2**-24 * sum|operands|` per address: the
+   standard worst-case reassociation bound with head-room factor);
+2. **reduction-commit multisets** — the stream recorded at the
+   ``GlobalMemory.apply_atomic`` choke point, compared per
+   ``(address, opcode)`` under the workload's policy (exact operand
+   bits, fusion-equivalent sums, or count+sum for multi-kernel fp
+   workloads — see :mod:`repro.check.presets`);
+3. **fp32 results** — the workload's own ``reference_*`` values where
+   declared (checked by the oracle tests; the diff inherits them
+   through the memory image).
+
+Mismatches are structured (:class:`Mismatch`): workload, architecture,
+buffer + word index + byte address, expected/got, and — when the
+multiset diverges under an exact policy — the *commit cycle* of the
+first divergent commit, recovered by re-running the cell with the
+``commit`` trace category enabled.
+
+Fault-injection cells (:func:`diff_one` with a
+:class:`~repro.faults.FaultPlan`) run in-process and keep the partial
+commit record even when the run dies in a :class:`SimulationError`
+deadlock (a dropped flush under the strict reorder protocol never
+unblocks the round), so the report still names the corrupted address.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import GPUConfig
+from repro.faults import FaultPlan
+from repro.harness.runner import ArchSpec, run_workload
+from repro.harness.sweep import JobSpec, run_jobs
+from repro.memory.globalmem import AtomicOp
+from repro.obs import ObsConfig
+from repro.sim.gpu import SimulationError
+from repro.check.oracle import (
+    OracleResult,
+    RedStat,
+    operand_bits,
+    run_oracle,
+    summarize_reds,
+)
+from repro.check.presets import DIFF_WORKLOADS, WorkloadPolicy, diff_archs
+
+#: Head-room factor on the worst-case fp32 reassociation bound.
+ATOL_SCALE = 4.0
+
+#: Mismatches reported per (cell, buffer/multiset) before truncation.
+MAX_MISMATCHES_PER_CELL = 5
+
+#: Traced attribution re-runs per report (each re-runs a full sim).
+MAX_ATTRIBUTED_CELLS = 4
+
+
+# ----------------------------------------------------------------------
+# Wire-format helpers (extra['red_commits'] / extra['final_mem']).
+# ----------------------------------------------------------------------
+
+def parse_red_commits(payload: str) -> List[AtomicOp]:
+    """Inverse of the ``extra['red_commits']`` serialisation."""
+    ops = []
+    for addr, opcode, operands in json.loads(payload):
+        conv = float if opcode.endswith(".f32") else int
+        ops.append(AtomicOp(int(addr), str(opcode),
+                            tuple(conv(v) for v in operands)))
+    return ops
+
+
+def parse_final_mem(payload: str) -> Dict[str, np.ndarray]:
+    """Inverse of the ``extra['final_mem']`` serialisation."""
+    out = {}
+    for name, doc in json.loads(payload).items():
+        raw = base64.b64decode(doc["data"])
+        dtype = np.float32 if doc["float"] else np.int64
+        out[name] = np.frombuffer(raw, dtype=dtype)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Report structures.
+# ----------------------------------------------------------------------
+
+@dataclass
+class Mismatch:
+    """One structured divergence between a simulator run and the oracle."""
+
+    workload: str
+    arch: str
+    kind: str                   # "memory" | "multiset" | "run-error"
+    buffer: str = ""
+    index: int = -1
+    addr: int = -1
+    opcode: str = ""
+    expected: object = None
+    got: object = None
+    detail: str = ""
+    #: cycle of the first divergent commit (traced re-run), when known.
+    commit_cycle: Optional[int] = None
+
+    def render(self) -> str:
+        loc = ""
+        if self.addr >= 0:
+            loc = f" @ {self.buffer or '?'}[{self.index}] (addr {self.addr:#x})"
+        cyc = (f" [first divergent commit @ cycle {self.commit_cycle}]"
+               if self.commit_cycle is not None else "")
+        exp = "" if self.expected is None else (
+            f" expected={self.expected!r} got={self.got!r}")
+        return (f"{self.workload} × {self.arch}: {self.kind}{loc}"
+                f"{exp} {self.detail}{cyc}".rstrip())
+
+    def to_doc(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload, "arch": self.arch, "kind": self.kind,
+            "buffer": self.buffer, "index": self.index, "addr": self.addr,
+            "opcode": self.opcode,
+            "expected": _jsonable(self.expected), "got": _jsonable(self.got),
+            "detail": self.detail, "commit_cycle": self.commit_cycle,
+        }
+
+
+def _jsonable(v):
+    if isinstance(v, (np.floating, np.integer)):
+        return v.item()
+    if isinstance(v, (list, tuple)):
+        return [_jsonable(x) for x in v]
+    return v
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one differential sweep over the conformance matrix."""
+
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    mismatches: List[Mismatch] = field(default_factory=list)
+    cells: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def add_cell(self, workload: str, arch: str,
+                 mismatches: List[Mismatch], status: str = "ok") -> None:
+        if mismatches:
+            status = "mismatch"
+        self.rows.append({"workload": workload, "arch": arch,
+                          "status": status, "mismatches": len(mismatches)})
+        self.mismatches.extend(mismatches)
+        self.cells += 1
+
+    def render(self) -> str:
+        lines = [f"differential: {self.cells} cells, "
+                 f"{len(self.mismatches)} mismatch(es)"]
+        for row in self.rows:
+            mark = "ok " if row["status"] == "ok" else "XX "
+            lines.append(f"  {mark}{row['workload']:16s} {row['arch']:22s} "
+                         f"{row['status']}")
+        for m in self.mismatches:
+            lines.append("  ! " + m.render())
+        return "\n".join(lines)
+
+    def to_doc(self) -> Dict[str, object]:
+        return {
+            "schema": "repro.check-diff/v1",
+            "ok": self.ok,
+            "cells": self.cells,
+            "rows": list(self.rows),
+            "mismatches": [m.to_doc() for m in self.mismatches],
+        }
+
+
+# ----------------------------------------------------------------------
+# Comparators.
+# ----------------------------------------------------------------------
+
+def _fp_bound(stat: Optional[RedStat], fallback: float) -> float:
+    if stat is None:
+        return fallback
+    return ATOL_SCALE * stat.count * 2.0 ** -24 * stat.sum_abs + fallback
+
+
+def compare_memory(
+    workload: str,
+    arch: str,
+    oracle: OracleResult,
+    sim_mem: Dict[str, np.ndarray],
+    policy: WorkloadPolicy,
+    summary: Dict[Tuple[int, str], RedStat],
+) -> List[Mismatch]:
+    """Diff every buffer of a run's final memory against the oracle."""
+    out: List[Mismatch] = []
+    tol = dict(policy.tol_buffers)
+    for name, ref in oracle.memory.items():
+        sim = sim_mem.get(name)
+        if sim is None or len(sim) != len(ref):
+            out.append(Mismatch(workload, arch, "memory", buffer=name,
+                                detail="buffer missing or resized"))
+            continue
+        base = oracle.bases[name]
+        if name not in tol:
+            bad = np.nonzero(ref != sim)[0]
+            for i in bad[:MAX_MISMATCHES_PER_CELL]:
+                out.append(Mismatch(
+                    workload, arch, "memory", buffer=name, index=int(i),
+                    addr=base + 4 * int(i),
+                    expected=ref[i].item(), got=sim[i].item(),
+                    detail="bitwise buffer differs"))
+            if len(bad) > MAX_MISMATCHES_PER_CELL:
+                out.append(Mismatch(
+                    workload, arch, "memory", buffer=name,
+                    detail=f"... {len(bad) - MAX_MISMATCHES_PER_CELL} more "
+                           f"differing words in {name!r}"))
+            continue
+        fallback = tol[name]
+        diff = np.abs(ref.astype(np.float64) - sim.astype(np.float64))
+        count = 0
+        for i in np.nonzero(diff > 0)[0]:
+            addr = base + 4 * int(i)
+            bound = _fp_bound(summary.get((addr, "add.f32")), fallback)
+            if diff[i] <= bound:
+                continue
+            count += 1
+            if count <= MAX_MISMATCHES_PER_CELL:
+                out.append(Mismatch(
+                    workload, arch, "memory", buffer=name, index=int(i),
+                    addr=addr, expected=ref[i].item(), got=sim[i].item(),
+                    detail=f"|diff|={diff[i]:.3e} > bound={bound:.3e}"))
+        if count > MAX_MISMATCHES_PER_CELL:
+            out.append(Mismatch(
+                workload, arch, "memory", buffer=name,
+                detail=f"... {count - MAX_MISMATCHES_PER_CELL} more "
+                       f"out-of-bound words in {name!r}"))
+    return out
+
+
+def compare_multisets(
+    workload: str,
+    arch: str,
+    oracle: OracleResult,
+    sim_ops: Sequence[AtomicOp],
+    policy: WorkloadPolicy,
+    fused: bool,
+    summary: Dict[Tuple[int, str], RedStat],
+) -> List[Mismatch]:
+    """Diff a run's reduction-commit multiset against the oracle's.
+
+    ``fused`` weakens count/bit equality to fusion-equivalence (the
+    architecture pre-combines commutative ops before commit): commit
+    counts may shrink, but integer sums and extrema must stay exact
+    and fp32 sums must agree within the rounding bound.
+    """
+    mode = policy.multiset
+    if mode == "skip":
+        return []
+    sim_summary = summarize_reds(sim_ops)
+    out: List[Mismatch] = []
+
+    def emit(key, expected, got, detail):
+        addr, opcode = key
+        buf, idx = oracle.locate(addr)
+        if len(out) < MAX_MISMATCHES_PER_CELL:
+            out.append(Mismatch(workload, arch, "multiset", buffer=buf,
+                                index=idx, addr=addr, opcode=opcode,
+                                expected=expected, got=got, detail=detail))
+
+    for key in sorted(set(summary) | set(sim_summary)):
+        addr, opcode = key
+        root = opcode.split(".")[0]
+        if mode == "float" and root != "add":
+            continue  # flag-style min/max: count is interleaving-dependent
+        o = summary.get(key)
+        s = sim_summary.get(key)
+        if o is None:
+            emit(key, 0, s.count, "commits to address the oracle never touched")
+            continue
+        if s is None:
+            emit(key, o.count, 0, "all commits to this address missing")
+            continue
+        is_f32 = opcode == "add.f32"
+        if mode == "exact" and not fused:
+            if o.ops_key != s.ops_key:
+                emit(key, o.count, s.count,
+                     "operand multiset differs (exact mode)")
+            continue
+        # fusion-equivalent / float mode: compare summaries.
+        if fused:
+            if not (1 <= s.count <= o.count):
+                emit(key, f"1..{o.count}", s.count,
+                     "fused commit count out of range")
+        elif s.count != o.count:
+            emit(key, o.count, s.count, "commit count differs")
+        if root == "add" and not is_f32 and s.int_sum != o.int_sum:
+            emit(key, o.int_sum, s.int_sum, "integer sum differs")
+        if root in ("min", "max") and s.extremum != o.extremum:
+            emit(key, o.extremum, s.extremum, "extremum differs")
+        if is_f32:
+            bound = (ATOL_SCALE * o.count * 2.0 ** -24 * o.sum_abs
+                     + policy.drift_atol * max(o.count, 1))
+            if abs(s.f64_sum - o.f64_sum) > bound:
+                emit(key, o.f64_sum, s.f64_sum,
+                     f"fp32 operand sum differs by "
+                     f"{abs(s.f64_sum - o.f64_sum):.3e} (> {bound:.3e})")
+    return out
+
+
+# ----------------------------------------------------------------------
+# Cell execution.
+# ----------------------------------------------------------------------
+
+def effective_fused(policy: WorkloadPolicy, arch: ArchSpec) -> bool:
+    return arch.kind == "dab" and bool(arch.dab.fusion)
+
+
+def diff_cell(
+    workload: str,
+    arch: ArchSpec,
+    oracle: OracleResult,
+    policy: WorkloadPolicy,
+    sim_mem: Dict[str, np.ndarray],
+    sim_ops: Sequence[AtomicOp],
+    summary: Dict[Tuple[int, str], RedStat],
+) -> List[Mismatch]:
+    fused = effective_fused(policy, arch)
+    out = compare_memory(workload, arch.label, oracle, sim_mem, policy,
+                         summary)
+    out.extend(compare_multisets(workload, arch.label, oracle, sim_ops,
+                                 policy, fused, summary))
+    return out
+
+
+def first_divergent_commit(
+    oracle: OracleResult,
+    events: Sequence[tuple],
+    summary: Dict[Tuple[int, str], RedStat],
+) -> Optional[int]:
+    """Cycle of the first traced commit outside the oracle's multiset.
+
+    Walks ``commit`` events in cycle order, consuming each commit from
+    the oracle's remaining per-``(addr, opcode, bits)`` multiset; the
+    first commit with no remaining budget (a corrupt value, a
+    duplicate, or a write to a foreign address) is the divergence
+    point.  Pure drops never *appear*, so they yield ``None`` — the
+    multiset mismatch itself names the starved address.  Only
+    meaningful under an exact (unfused) policy.
+    """
+    remaining: Counter = Counter()
+    for op in oracle.red_ops:
+        key = (op.addr, op.opcode,
+               tuple(operand_bits(v) for v in op.operands))
+        remaining[key] += 1
+    for cycle, _cat, name, payload in events:
+        if name != "apply":
+            continue
+        opcode = payload["op"]
+        if opcode.split(".")[0] not in ("add", "min", "max"):
+            continue
+        conv = float if opcode.endswith(".f32") else int
+        key = (payload["addr"], opcode,
+               tuple(operand_bits(conv(v)) for v in payload["args"]))
+        if remaining[key] <= 0:
+            return int(cycle)
+        remaining[key] -= 1
+    return None
+
+
+def diff_one(
+    workload: str,
+    arch: ArchSpec,
+    gpu: Optional[GPUConfig] = None,
+    seed: int = 1,
+    jitter: bool = True,
+    faults: Optional[FaultPlan] = None,
+    policy: Optional[WorkloadPolicy] = None,
+    oracle: Optional[OracleResult] = None,
+    max_cycles: Optional[int] = None,
+) -> Tuple[List[Mismatch], str]:
+    """Diff one cell in-process; robust to fault-induced deadlock.
+
+    Returns ``(mismatches, status)``.  The workload instance is kept
+    across a :class:`SimulationError`, so a faulted run that deadlocks
+    (e.g. a dropped flush entry starving the reorder round) is diffed
+    on its partial commit record and memory image — the report then
+    names exactly the starved address.
+    """
+    policy = policy or DIFF_WORKLOADS[workload]
+    oracle = oracle or run_oracle(policy.ref)
+    summary = oracle.red_summary()
+    holder: Dict[str, object] = {}
+
+    def capture():
+        w = policy.ref()
+        holder["w"] = w
+        return w
+
+    status = "ok"
+    try:
+        run_workload(capture, arch, gpu_config=gpu or GPUConfig.small(),
+                     seed=seed, jitter=jitter, faults=faults,
+                     record_state=True, max_cycles=max_cycles)
+    except SimulationError as exc:
+        status = f"run-error: {exc}"
+    w = holder["w"]
+    sim_mem = {n: w.mem.buffer(n) for n in w.mem.buffer_names()}
+    sim_ops = w.mem.commit_log.reductions()
+    mismatches = diff_cell(workload, arch, oracle, policy, sim_mem, sim_ops,
+                           summary)
+    if status != "ok":
+        mismatches.append(Mismatch(workload, arch.label, "run-error",
+                                   detail=status))
+    return mismatches, status
+
+
+# ----------------------------------------------------------------------
+# The matrix.
+# ----------------------------------------------------------------------
+
+def run_differential(
+    workloads: Optional[Sequence[str]] = None,
+    archs: Optional[Sequence[ArchSpec]] = None,
+    gpu: Optional[GPUConfig] = None,
+    seed: int = 1,
+    jitter: bool = True,
+    jobs: int = 1,
+    attribute_cycles: bool = True,
+) -> DiffReport:
+    """Run the workload × architecture conformance matrix.
+
+    Simulations go through :func:`repro.harness.sweep.run_jobs`
+    (``jobs > 1`` fans out over processes); oracles run in-process —
+    they are pure Python and much cheaper than the simulations.  Cells
+    whose multiset diverges under an exact policy are re-run with the
+    ``commit`` trace enabled (up to ``MAX_ATTRIBUTED_CELLS``) to stamp
+    the first divergent commit cycle onto the mismatch.
+    """
+    names = list(workloads) if workloads else list(DIFF_WORKLOADS)
+    unknown = [n for n in names if n not in DIFF_WORKLOADS]
+    if unknown:
+        raise ValueError(
+            f"unknown conformance workload(s) {unknown}; "
+            f"known: {', '.join(DIFF_WORKLOADS)}")
+    matrix_archs = tuple(archs) if archs is not None else diff_archs()
+    gpu_cfg = gpu or GPUConfig.small()
+
+    oracles = {n: run_oracle(DIFF_WORKLOADS[n].ref) for n in names}
+    summaries = {n: oracles[n].red_summary() for n in names}
+
+    cells: List[Tuple[str, ArchSpec]] = []
+    for n in names:
+        for arch in matrix_archs:
+            if arch.kind == "dab" and not DIFF_WORKLOADS[n].dab_ok:
+                continue  # returning atomics are unsupported under DAB
+            cells.append((n, arch))
+
+    specs = [
+        JobSpec(workload=DIFF_WORKLOADS[n].ref, arch=arch, gpu=gpu_cfg,
+                seed=seed, jitter=jitter, record_state=True)
+        for n, arch in cells
+    ]
+    results = run_jobs(specs, jobs=jobs, cache=False)
+
+    report = DiffReport()
+    attributed = 0
+    for (name, arch), result in zip(cells, results):
+        policy = DIFF_WORKLOADS[name]
+        sim_mem = parse_final_mem(result.extra["final_mem"])
+        sim_ops = parse_red_commits(result.extra["red_commits"])
+        mismatches = diff_cell(name, arch, oracles[name], policy, sim_mem,
+                               sim_ops, summaries[name])
+        needs_cycle = (
+            attribute_cycles and attributed < MAX_ATTRIBUTED_CELLS
+            and policy.multiset == "exact"
+            and not effective_fused(policy, arch)
+            and any(m.kind == "multiset" for m in mismatches)
+        )
+        if needs_cycle:
+            attributed += 1
+            cycle = _attribute_cycle(name, arch, gpu_cfg, seed, jitter,
+                                     oracles[name], summaries[name])
+            if cycle is not None:
+                for m in mismatches:
+                    if m.kind == "multiset":
+                        m.commit_cycle = cycle
+                        break
+        report.add_cell(name, arch.label, mismatches)
+    return report
+
+
+def _attribute_cycle(name, arch, gpu_cfg, seed, jitter, oracle, summary):
+    """Re-run one cell with commit tracing to find the divergence cycle."""
+    policy = DIFF_WORKLOADS[name]
+    obs = ObsConfig(trace=True, trace_categories=("commit",),
+                    trace_capacity=0)
+    result = run_workload(policy.ref, arch, gpu_config=gpu_cfg, seed=seed,
+                          jitter=jitter, obs=obs, record_state=True)
+    events = result.obs.tracer.events(category="commit")
+    return first_divergent_commit(oracle, events, summary)

@@ -1,0 +1,318 @@
+"""ISA-level reference oracle: order-independent functional execution.
+
+The oracle executes the same mini-PTX kernels as the cycle simulator,
+but with *no* timing model at all: warps run round-robin in fixed
+(cta, warp) order, loads and stores take effect at issue, and — the key
+property — reduction atomics (``red``) are *deferred* and applied only
+at synchronization points (barrier completion, ``membar``, kernel end)
+in a canonical order sorted by ``(address, opcode, operand bits)``.
+
+Because a reduction multiset applied at one synchronization point
+consists of commuting single-word updates, any two applications of the
+same multiset in the same canonical order are bitwise identical — the
+oracle's final memory is therefore a *schedule-free* function of the
+program, which is exactly what a deterministic architecture (DAB,
+GPUDet) claims to compute up to floating-point reassociation.  The
+differential harness (:mod:`repro.check.differential`) diffs every
+architecture's final memory and reduction-commit multiset against this
+image.
+
+Returning atomics (``atom``: exch/cas/inc and returning add) cannot be
+deferred — their old-value result feeds back into the program — so the
+oracle applies them immediately in lane order at issue.  For workloads
+whose ``atom`` use is a mutual-exclusion protocol (the lock suite),
+this warp-sequential execution yields the unique serialized result.
+
+What the oracle does *not* model: caches, interconnect, buffering,
+flush protocols, scheduling — by construction.  It shares the
+functional core (:class:`~repro.arch.warp.Warp`,
+:class:`~repro.memory.globalmem.GlobalMemory`) with the simulator, so
+an ISA-semantics bug common to both will not be caught; what it does
+catch is any way the *timing machinery* corrupts, drops, duplicates or
+mis-orders architectural state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.kernel import CTA, Kernel
+from repro.arch.warp import Warp
+from repro.memory.globalmem import AtomicOp, GlobalMemory
+from repro.sim.results import SimResult
+from repro.workloads import Workload
+
+#: Steps a warp may run per round-robin slice before yielding.  Small
+#: enough that spin-loops (ticket locks) interleave, large enough that
+#: straight-line kernels don't pay scheduling overhead.
+SLICE_STEPS = 256
+
+#: Default total step budget; a livelocked program (or a broken kernel)
+#: raises :class:`OracleError` instead of hanging the test suite.
+DEFAULT_STEP_BUDGET = 50_000_000
+
+
+class OracleError(RuntimeError):
+    """The oracle could not make progress (deadlock or budget blown)."""
+
+
+def operand_bits(value) -> Tuple:
+    """Canonical, hashable bit pattern of one atomic operand.
+
+    Floats are keyed by their binary32 bit pattern so sorting and
+    multiset comparison are exact (no ``-0.0 == 0.0`` or NaN surprises);
+    integers are keyed by value.
+    """
+    if isinstance(value, (float, np.floating)):
+        return ("f", struct.unpack("<I", struct.pack("<f", float(value)))[0])
+    return ("i", int(value))
+
+
+def canonical_op_key(op: AtomicOp) -> Tuple:
+    """Total order on reduction ops: address, opcode, operand bits."""
+    return (op.addr, op.opcode, tuple(operand_bits(v) for v in op.operands))
+
+
+@dataclass
+class RedStat:
+    """Summary of all reduction ops targeting one ``(addr, opcode)``."""
+
+    count: int = 0
+    #: exact integer sum (``add.s32``/``add.s64`` operands).
+    int_sum: int = 0
+    #: float64 sum of operands (``add.f32``) — reassociation-invariant
+    #: up to ~2^-53, used for fusion-equivalent comparison.
+    f64_sum: float = 0.0
+    #: float64 sum of |operands| — scales the rounding-error bound.
+    sum_abs: float = 0.0
+    #: running extremum for min/max ops.
+    extremum: Optional[float] = None
+    #: sorted multiset of operand bit patterns (exact comparison).
+    ops_key: List[Tuple] = field(default_factory=list)
+
+
+def summarize_reds(ops) -> Dict[Tuple[int, str], RedStat]:
+    """Per-``(addr, opcode)`` summary of a reduction-op stream.
+
+    Used identically on the oracle's op log and on a simulator run's
+    commit record, so the two summaries are directly comparable.
+    """
+    out: Dict[Tuple[int, str], RedStat] = {}
+    for op in ops:
+        stat = out.get((op.addr, op.opcode))
+        if stat is None:
+            stat = out[(op.addr, op.opcode)] = RedStat()
+        stat.count += 1
+        root, dtype = op.opcode.split(".")
+        v = op.operands[0]
+        if root == "add":
+            if dtype == "f32":
+                stat.f64_sum += float(v)
+                stat.sum_abs += abs(float(v))
+            else:
+                stat.int_sum += int(v)
+        elif root == "min":
+            stat.extremum = v if stat.extremum is None else min(stat.extremum, v)
+        elif root == "max":
+            stat.extremum = v if stat.extremum is None else max(stat.extremum, v)
+        stat.ops_key.append(tuple(operand_bits(x) for x in op.operands))
+    for stat in out.values():
+        stat.ops_key.sort()
+    return out
+
+
+@dataclass
+class OracleResult:
+    """Everything the oracle learned about one workload execution."""
+
+    workload: str
+    #: final buffer images (copies, bitwise).
+    memory: Dict[str, np.ndarray]
+    bases: Dict[str, int]
+    float_bufs: frozenset
+    outputs: Tuple[str, ...]
+    info: Dict
+    #: every reduction op the program issued, in collection order.
+    red_ops: List[AtomicOp]
+    atom_count: int
+    steps: int
+    kernels: int
+
+    def red_summary(self) -> Dict[Tuple[int, str], RedStat]:
+        return summarize_reds(self.red_ops)
+
+    def locate(self, addr: int) -> Tuple[str, int]:
+        """Map a byte address back to ``(buffer name, word index)``."""
+        for name, base in self.bases.items():
+            arr = self.memory[name]
+            if base <= addr < base + 4 * len(arr):
+                return name, (addr - base) // 4
+        return ("?", -1)
+
+    def memory_digest(self) -> str:
+        """SHA-256 over all buffer images (golden-snapshot identity)."""
+        h = hashlib.sha256()
+        for name in sorted(self.memory):
+            h.update(name.encode())
+            h.update(self.memory[name].tobytes())
+        return h.hexdigest()
+
+
+class OracleGPU:
+    """Drop-in ``GPU`` replacement executing kernels functionally.
+
+    Implements exactly the surface workload drivers use — ``launch()``,
+    ``run()``, a settable ``max_cycles`` — so every registered workload
+    runs unmodified.  ``max_cycles`` is accepted and ignored: the oracle
+    has no cycles; runaway programs are bounded by ``step_budget``.
+    """
+
+    def __init__(self, mem: GlobalMemory, warp_size: int = 32,
+                 step_budget: int = DEFAULT_STEP_BUDGET):
+        self.mem = mem
+        self.warp_size = warp_size
+        self.step_budget = step_budget
+        self.max_cycles: Optional[int] = None
+        self._queue: List[Kernel] = []
+        self._next_uid = 0
+        self.red_ops: List[AtomicOp] = []
+        self._pending: List[AtomicOp] = []
+        self.atom_count = 0
+        self.steps = 0
+        self.kernels = 0
+
+    # -- driver surface --------------------------------------------------
+    def launch(self, kernel: Kernel) -> None:
+        self._queue.append(kernel)
+
+    def run(self, max_cycles: Optional[int] = None) -> SimResult:
+        while self._queue:
+            self._run_kernel(self._queue.pop(0))
+            self.kernels += 1
+        return SimResult(
+            label="oracle",
+            cycles=0,
+            instructions=self.steps,
+            atomics=self.atom_count + len(self.red_ops),
+            kernels=self.kernels,
+            mem_digest=self.mem.snapshot_digest(),
+        )
+
+    # -- execution -------------------------------------------------------
+    def _run_kernel(self, kernel: Kernel) -> None:
+        warps: List[Warp] = []
+        warps_per_cta = -(-kernel.cta_dim // self.warp_size)
+        for cta_id in range(kernel.grid_dim):
+            cta = CTA(kernel, cta_id)
+            for w in range(warps_per_cta):
+                warp = Warp(uid=self._next_uid, cta=cta, warp_id_in_cta=w,
+                            warp_size=self.warp_size)
+                self._next_uid += 1
+                warps.append(warp)
+
+        while True:
+            stepped = 0
+            for warp in warps:
+                if warp.done or warp.at_barrier:
+                    continue
+                stepped += self._run_slice(warp)
+            stepped += self._complete_barriers(warps)
+            if all(w.done for w in warps):
+                break
+            if stepped == 0:
+                raise OracleError(
+                    f"kernel {kernel.name!r}: no runnable warp "
+                    f"(mismatched barriers?)"
+                )
+        self._apply_pending()
+
+    def _run_slice(self, warp: Warp) -> int:
+        done_steps = 0
+        for _ in range(SLICE_STEPS):
+            result = warp.step(self.mem)
+            done_steps += 1
+            self.steps += 1
+            if self.steps > self.step_budget:
+                raise OracleError(
+                    f"step budget {self.step_budget} exhausted "
+                    f"(livelocked program?)"
+                )
+            spec = result.mem
+            if spec is not None:
+                if spec.kind == "red":
+                    self.red_ops.extend(spec.red_ops)
+                    self._pending.extend(spec.red_ops)
+                elif spec.kind == "atom":
+                    self.atom_count += len(spec.atom_ops)
+                    for lane, op in spec.atom_ops:
+                        old = self.mem.apply_atomic(op)
+                        if spec.atom_dst:
+                            warp.write_atom_result(spec.atom_dst, lane, old)
+            if result.fence:
+                self._apply_pending()
+            if result.barrier:
+                warp.at_barrier = True
+                break
+            if warp.done:
+                break
+        return done_steps
+
+    def _complete_barriers(self, warps: List[Warp]) -> int:
+        """Release every CTA whose live warps all arrived at the barrier."""
+        by_cta: Dict[int, List[Warp]] = {}
+        for w in warps:
+            if not w.done:
+                by_cta.setdefault(w.cta.cta_id, []).append(w)
+        released = 0
+        for group in by_cta.values():
+            if group and all(w.at_barrier for w in group):
+                self._apply_pending()
+                for w in group:
+                    w.at_barrier = False
+                released += len(group)
+        return released
+
+    def _apply_pending(self) -> None:
+        """Commit deferred reductions in canonical sorted order.
+
+        Any permutation of the pending list produces the same memory
+        image: ops are sorted by ``(addr, opcode, operand bits)``, and
+        ops with equal keys are bitwise-identical single-word updates,
+        hence interchangeable.  This is the order-independence the
+        differential harness relies on (and the property tests verify).
+        """
+        if not self._pending:
+            return
+        self._pending.sort(key=canonical_op_key)
+        for op in self._pending:
+            self.mem.apply_atomic(op)
+        self._pending.clear()
+
+
+def run_oracle(factory: Callable[[], Workload],
+               step_budget: int = DEFAULT_STEP_BUDGET) -> OracleResult:
+    """Execute a workload on the reference oracle; return its image."""
+    workload = factory()
+    gpu = OracleGPU(workload.mem, step_budget=step_budget)
+    workload.drive(gpu)
+    if gpu._queue:  # pragma: no cover - defensive
+        raise OracleError("driver left kernels queued without run()")
+    mem = workload.mem
+    return OracleResult(
+        workload=workload.name,
+        memory={n: mem.buffer(n).copy() for n in mem.buffer_names()},
+        bases={n: mem.base_of(n) for n in mem.buffer_names()},
+        float_bufs=frozenset(
+            n for n in mem.buffer_names() if mem.is_float_buffer(n)),
+        outputs=tuple(workload.outputs),
+        info=dict(workload.info),
+        red_ops=gpu.red_ops,
+        atom_count=gpu.atom_count,
+        steps=gpu.steps,
+        kernels=gpu.kernels,
+    )

@@ -1,0 +1,155 @@
+"""Conformance presets: which workloads to diff/certify, and how.
+
+Every entry pairs a (small, fast) workload variant with its comparison
+policy.  Sizes are deliberately reduced versus the paper-scale
+experiment configs — conformance wants full workload × architecture
+coverage per CI run, not paper-scale numbers — but every kernel,
+driver loop and synchronization pattern is the same code path.
+
+Comparison policy fields
+------------------------
+``multiset``
+    How the reduction-commit multiset recorded by the simulator is
+    compared against the oracle's (see
+    :func:`repro.check.differential.compare_multisets`):
+
+    * ``"exact"`` — per ``(addr, opcode)`` the sorted operand-bit
+      multisets must be identical.  Sound whenever the operand values
+      themselves are schedule-independent (single-kernel workloads, or
+      integer data).  Automatically weakened to fusion-equivalent
+      comparison on architectures that fuse (DAB with ``fusion=True``):
+      counts may shrink, but integer sums / extrema stay exact and
+      fp32 sums must agree within the rounding bound.
+    * ``"float"`` — for multi-kernel fp32 workloads whose *operands*
+      depend on earlier kernels' (reassociated) results: per-address
+      commit counts must match (``<=`` under fusion) and fp64 operand
+      sums must agree within the propagated-drift bound; min/max ops
+      (e.g. convergence flags whose commit count is
+      interleaving-dependent) are not compared.
+    * ``"skip"`` — no multiset comparison.  Used for chaotic-relaxation
+      workloads (sssp) whose commit *stream* is legitimately
+      schedule-dependent; only the memory fixpoint is specified.
+
+``tol_buffers``
+    ``(buffer, fallback_atol)`` pairs compared with a per-address
+    fp-rounding tolerance instead of bitwise (buffers that receive
+    ``red.add.f32``, or are derived from such buffers).  The fallback
+    is used for addresses with no reduction summary (derived values);
+    ``0.0`` means bitwise for those addresses.  All other buffers are
+    always compared bitwise.
+
+``dab_ok``
+    False for workloads using returning atomics (``atom``), which DAB
+    by design does not support; they are diffed on baseline/GPUDet
+    only.
+
+``drift_atol``
+    Extra per-commit slack for ``"float"`` multiset sums, covering
+    drift propagated through earlier kernels (0 for single-kernel
+    exact workloads).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.dab import DABConfig
+from repro.harness.runner import ArchSpec
+from repro.harness.sweep import WorkloadRef
+
+
+@dataclass(frozen=True)
+class WorkloadPolicy:
+    """One workload's conformance variant plus its comparison policy."""
+
+    ref: WorkloadRef
+    multiset: str = "exact"             # "exact" | "float" | "skip"
+    tol_buffers: Tuple[Tuple[str, float], ...] = ()
+    dab_ok: bool = True
+    drift_atol: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.multiset not in ("exact", "float", "skip"):
+            raise ValueError(f"unknown multiset policy {self.multiset!r}")
+
+
+#: The full conformance matrix rows: name -> policy.
+DIFF_WORKLOADS: Dict[str, WorkloadPolicy] = {
+    "atomic_sum": WorkloadPolicy(
+        WorkloadRef("atomic_sum", kwargs={"n": 512, "cta_dim": 128}),
+        multiset="exact", tol_buffers=(("out", 0.0),),
+    ),
+    "order_sensitive": WorkloadPolicy(
+        WorkloadRef("order_sensitive", kwargs={"n": 256, "cta_dim": 64}),
+        multiset="exact", tol_buffers=(("out", 0.0),),
+    ),
+    "histogram": WorkloadPolicy(
+        WorkloadRef("histogram", kwargs={"n": 512, "bins": 16}),
+        multiset="exact",
+    ),
+    "multi_target": WorkloadPolicy(
+        WorkloadRef("multi_target", kwargs={"n": 256, "targets": 4}),
+        multiset="exact", tol_buffers=(("out", 0.0),),
+    ),
+    "conv": WorkloadPolicy(
+        WorkloadRef("conv"),
+        multiset="exact", tol_buffers=(("dw", 0.0),),
+    ),
+    "pagerank": WorkloadPolicy(
+        WorkloadRef("pagerank", kwargs={"scale": 1024}),
+        multiset="float", drift_atol=1e-6,
+        tol_buffers=(("rank", 1e-6), ("next_rank", 1e-6)),
+    ),
+    "bc": WorkloadPolicy(
+        WorkloadRef("bc", kwargs={"scale": 64}),
+        multiset="float", drift_atol=1e-4,
+        tol_buffers=(("sigma", 0.0), ("delta", 1e-4), ("bc", 1e-3)),
+    ),
+    "sssp": WorkloadPolicy(
+        WorkloadRef("sssp", kwargs={"scale": 64}),
+        multiset="skip",
+    ),
+    "lock_ts": WorkloadPolicy(
+        WorkloadRef("lock_sum", args=("ts",), kwargs={"n": 128, "cta_dim": 64}),
+        multiset="exact", dab_ok=False,
+    ),
+    "lock_ts_backoff": WorkloadPolicy(
+        WorkloadRef("lock_sum", args=("ts_backoff",),
+                    kwargs={"n": 128, "cta_dim": 64}),
+        multiset="exact", dab_ok=False,
+    ),
+    "lock_tts": WorkloadPolicy(
+        WorkloadRef("lock_sum", args=("tts",),
+                    kwargs={"n": 128, "cta_dim": 64}),
+        multiset="exact", dab_ok=False,
+    ),
+}
+
+
+def _dab(scheduler: str) -> ArchSpec:
+    return ArchSpec.make_dab(
+        dataclasses.replace(DABConfig.paper_default(), scheduler=scheduler))
+
+
+def diff_archs() -> Tuple[ArchSpec, ...]:
+    """The acceptance matrix columns: baseline, four DAB schedulers
+    (paper-default buffering, fusion+coalescing on), and GPUDet."""
+    return (
+        ArchSpec.baseline(),
+        _dab("srr"),
+        _dab("gtrr"),
+        _dab("gtar"),
+        _dab("gwat"),
+        ArchSpec.make_gpudet(),
+    )
+
+
+#: Workloads the race certifier runs over (name -> builder ref).
+#: Same variants as the diff matrix — certification is a property of
+#: the program, not of its size, but small variants keep the access
+#: trace (one event per memory instruction) tractable.
+CERT_WORKLOADS: Dict[str, WorkloadRef] = {
+    name: policy.ref for name, policy in DIFF_WORKLOADS.items()
+}

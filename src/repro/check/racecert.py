@@ -1,0 +1,377 @@
+"""Dynamic data-race certification via vector-clock happens-before.
+
+DAB's whole-workload determinism claim is *weak* determinism: it holds
+for data-race-free programs (SC-for-HRF).  This module checks that
+assumption dynamically: it runs a workload once on the baseline
+architecture with jitter disabled and the ``access`` trace category
+enabled (one event per memory instruction, with exact per-lane word
+addresses), then replays the trace through a vector-clock
+happens-before checker.
+
+Clock scheme
+------------
+Clocks are per *warp*, not per thread: SIMT lanes execute in lockstep,
+so a warp's program order totally orders all its lanes' accesses across
+instructions, and lanes of one instruction are handled as a set (two
+lanes of the same instruction writing one address is itself reported).
+Epochs are ``(warp uid, per-warp event count)``.
+
+Happens-before edges:
+
+* **program order** — each warp's events are totally ordered;
+* **synchronization locations** — every access (plain or atomic) to a
+  sync location is treated as an acquire *and* release on that
+  location's clock.  Sync locations are (a) every address touched by an
+  atomic instruction (``red``/``atom``) anywhere in the kernel, and
+  (b) every address of a buffer the workload declares in
+  ``info['sync_buffers']`` (volatile protocol variables accessed with
+  plain loads/stores, e.g. a ticket lock's ``serving`` counter);
+* **barriers** — a CTA's k-th ``bar.sync`` generation joins the clocks
+  of all its warps.  The simulator only releases a barrier when every
+  live warp arrived, so in trace order all arrivals precede every
+  post-barrier access; the checker exploits this by accumulating the
+  join at arrival and applying it lazily at each warp's next event;
+* **kernel boundaries** — kernel launches are host-synchronous, a
+  global join: the checker simply analyses each kernel's trace segment
+  independently.
+
+Two accesses to the same non-sync address race iff they come from
+different warps, at least one is a write, and neither epoch
+happens-before the other.  Buffers listed in
+``info['race_exempt_buffers']`` (documented benign races, e.g. BC's
+same-value frontier marking) are reported separately as *waived* and
+do not fail certification.
+
+What "certified DRF" does and does not prove: the check is dynamic and
+per-input — it certifies the executed trace (and, for sync-location
+classification, this run's address sets), not all executions; and it
+observes the baseline issue order, which for the functional memory
+model is a legal interleaving but not an exhaustive one.  It is a
+falsifier with no false positives modulo declared waivers, not a proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.config import GPUConfig
+from repro.harness.runner import ArchSpec, run_workload
+from repro.harness.sweep import WorkloadRef
+from repro.obs import ObsConfig
+from repro.check.presets import CERT_WORKLOADS
+
+#: Races reported per workload before truncation (totals still exact).
+MAX_REPORTED_RACES = 10
+
+
+@dataclass
+class RaceRecord:
+    """One conflicting access pair on a non-sync location."""
+
+    kernel: str
+    buffer: str
+    index: int
+    addr: int
+    kind_a: str
+    kind_b: str
+    warp_a: int
+    warp_b: int
+    gtid_a: int
+    gtid_b: int
+    waived: bool = False
+
+    def render(self) -> str:
+        tag = " [waived]" if self.waived else ""
+        return (f"{self.kernel}: {self.buffer}[{self.index}] "
+                f"(addr {self.addr:#x}) {self.kind_a} by warp {self.warp_a} "
+                f"(gtid {self.gtid_a}) ∦ {self.kind_b} by warp {self.warp_b} "
+                f"(gtid {self.gtid_b}){tag}")
+
+
+@dataclass
+class RaceReport:
+    """Certification outcome for one workload."""
+
+    workload: str
+    races: List[RaceRecord] = field(default_factory=list)
+    waived: List[RaceRecord] = field(default_factory=list)
+    total_races: int = 0
+    total_waived: int = 0
+    kernels: int = 0
+    accesses: int = 0
+    sync_addrs: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.total_races == 0
+
+    def verdict(self) -> str:
+        if self.ok and not self.total_waived:
+            return "DRF"
+        if self.ok:
+            return f"DRF ({self.total_waived} waived benign race(s))"
+        return f"RACY ({self.total_races} race(s))"
+
+    def render(self) -> str:
+        lines = [f"{self.workload}: {self.verdict()} — {self.accesses} "
+                 f"accesses, {self.kernels} kernel(s), "
+                 f"{self.sync_addrs} sync location(s)"]
+        for r in self.races:
+            lines.append("  RACE   " + r.render())
+        if self.total_races > len(self.races):
+            lines.append(f"  ... {self.total_races - len(self.races)} more")
+        for r in self.waived:
+            lines.append("  waived " + r.render())
+        if self.total_waived > len(self.waived):
+            lines.append(f"  ... {self.total_waived - len(self.waived)} "
+                         f"more waived")
+        return "\n".join(lines)
+
+    def to_doc(self) -> Dict[str, object]:
+        return {
+            "schema": "repro.check-drf/v1",
+            "workload": self.workload,
+            "ok": self.ok,
+            "verdict": self.verdict(),
+            "races": self.total_races,
+            "waived": self.total_waived,
+            "kernels": self.kernels,
+            "accesses": self.accesses,
+            "sync_addrs": self.sync_addrs,
+        }
+
+
+# ----------------------------------------------------------------------
+# Vector-clock machinery (per kernel segment).
+# ----------------------------------------------------------------------
+
+_WRITE_KINDS = frozenset(("store",))
+_SYNC_KINDS = frozenset(("red", "atom"))
+
+
+class _KernelChecker:
+    """Happens-before state for one kernel's trace segment."""
+
+    def __init__(self, kernel: str, sync_addrs: Set[int], locate, waived_bufs):
+        self.kernel = kernel
+        self.sync_addrs = sync_addrs
+        self.locate = locate
+        self.waived_bufs = waived_bufs
+        self.clocks: Dict[int, Dict[int, int]] = {}
+        self.times: Dict[int, int] = {}
+        self.loc_clocks: Dict[int, Dict[int, int]] = {}
+        # addr -> {warp: (time, kind, gtid)} last access per warp.
+        self.writes: Dict[int, Dict[int, Tuple[int, str, int]]] = {}
+        self.reads: Dict[int, Dict[int, Tuple[int, str, int]]] = {}
+        self.bar_counts: Dict[int, int] = {}
+        self.bar_acc: Dict[Tuple[int, int], Dict[int, int]] = {}
+        self.pending_join: Dict[int, Tuple[int, int]] = {}
+        self.races: List[RaceRecord] = []
+        self.waived: List[RaceRecord] = []
+
+    # -- clock helpers -------------------------------------------------
+    def _clock(self, warp: int) -> Dict[int, int]:
+        c = self.clocks.get(warp)
+        if c is None:
+            c = self.clocks[warp] = {}
+            self.times[warp] = 0
+        pend = self.pending_join.pop(warp, None)
+        if pend is not None:
+            _join(c, self.bar_acc.get(pend, {}))
+        return c
+
+    def _tick(self, warp: int) -> int:
+        t = self.times[warp] + 1
+        self.times[warp] = t
+        self.clocks[warp][warp] = t
+        return t
+
+    def _hb(self, epoch_warp: int, epoch_time: int, clock: Dict[int, int]) -> bool:
+        return clock.get(epoch_warp, 0) >= epoch_time
+
+    # -- event processing ----------------------------------------------
+    def on_bar(self, warp: int, cta: int) -> None:
+        c = self._clock(warp)
+        self._tick(warp)
+        g = self.bar_counts.get(warp, 0)
+        self.bar_counts[warp] = g + 1
+        acc = self.bar_acc.setdefault((cta, g), {})
+        _join(acc, c)
+        self.pending_join[warp] = (cta, g)
+
+    def on_access(self, warp: int, kind: str, addrs: Sequence[int],
+                  gtids: Sequence[int]) -> None:
+        c = self._clock(warp)
+        self._tick(warp)
+        is_sync_kind = kind in _SYNC_KINDS
+        seen: Dict[int, int] = {}
+        for addr, gtid in zip(addrs, gtids):
+            if is_sync_kind or addr in self.sync_addrs:
+                lc = self.loc_clocks.setdefault(addr, {})
+                _join(c, lc)       # acquire
+                _join(lc, c)       # release
+                continue
+            # Two lanes of ONE store instruction hitting the same word
+            # are unordered even within a warp (lockstep orders
+            # instructions, not lanes) — an intra-warp race.
+            if kind in _WRITE_KINDS and addr in seen:
+                buf, idx = self.locate(addr)
+                rec = RaceRecord(self.kernel, buf, idx, addr, kind, kind,
+                                 warp, warp, seen[addr], gtid,
+                                 waived=buf in self.waived_bufs)
+                (self.waived if rec.waived else self.races).append(rec)
+            seen[addr] = gtid
+            self._check_plain(warp, kind, addr, gtid, c)
+
+    def _check_plain(self, warp: int, kind: str, addr: int, gtid: int,
+                     clock: Dict[int, int]) -> None:
+        is_write = kind in _WRITE_KINDS
+        t = self.times[warp]
+        conflicts = []
+        writes = self.writes.get(addr)
+        if writes:
+            for w2, (t2, k2, g2) in writes.items():
+                if w2 != warp and not self._hb(w2, t2, clock):
+                    conflicts.append((w2, k2, g2))
+        if is_write:
+            reads = self.reads.get(addr)
+            if reads:
+                for w2, (t2, k2, g2) in reads.items():
+                    if w2 != warp and not self._hb(w2, t2, clock):
+                        conflicts.append((w2, k2, g2))
+        for w2, k2, g2 in conflicts:
+            buf, idx = self.locate(addr)
+            rec = RaceRecord(self.kernel, buf, idx, addr, k2, kind,
+                             w2, warp, g2, gtid,
+                             waived=buf in self.waived_bufs)
+            (self.waived if rec.waived else self.races).append(rec)
+        table = self.writes if is_write else self.reads
+        table.setdefault(addr, {})[warp] = (t, kind, gtid)
+
+
+def _join(dst: Dict[int, int], src: Dict[int, int]) -> None:
+    for k, v in src.items():
+        if dst.get(k, 0) < v:
+            dst[k] = v
+
+
+# ----------------------------------------------------------------------
+# Driver.
+# ----------------------------------------------------------------------
+
+def analyze_trace(events: Sequence[tuple], locate, info: Dict) -> Tuple[
+        List[RaceRecord], List[RaceRecord], int, int, int]:
+    """Run the happens-before check over a full ``access``+``kernel``
+    trace; returns (races, waived, kernels, accesses, sync locations)."""
+    sync_buf_addrs: Set[int] = set()
+    waived_bufs = frozenset(info.get("race_exempt_buffers", ()))
+    ranges = info.get("_sync_ranges", ())
+    for lo, hi in ranges:
+        sync_buf_addrs.update(range(lo, hi, 4))
+
+    # Split into kernel segments (kernel "begin" events delimit them).
+    segments: List[List[tuple]] = []
+    names: List[str] = []
+    current: List[tuple] = []
+    started = False
+    for ev in events:
+        _cycle, cat, name, payload = ev
+        if cat == "kernel" and name == "begin":
+            if started:
+                segments.append(current)
+            current = []
+            started = True
+            names.append(str(payload.get("kernel", f"k{len(names)}")))
+        elif cat == "access":
+            if not started:
+                started = True
+                names.append("k0")
+            current.append(ev)
+    if started:
+        segments.append(current)
+
+    races: List[RaceRecord] = []
+    waived: List[RaceRecord] = []
+    accesses = 0
+    sync_total: Set[int] = set(sync_buf_addrs)
+    for kname, seg in zip(names, segments):
+        sync_addrs = set(sync_buf_addrs)
+        for _cycle, _cat, name, payload in seg:
+            if name in _SYNC_KINDS:
+                sync_addrs.update(payload["addrs"])
+        sync_total |= sync_addrs
+        chk = _KernelChecker(kname, sync_addrs, locate, waived_bufs)
+        for _cycle, _cat, name, payload in seg:
+            accesses += 1
+            if name == "bar":
+                chk.on_bar(payload["warp"], payload["cta"])
+            else:
+                chk.on_access(payload["warp"], name,
+                              payload["addrs"], payload["gtids"])
+        races.extend(chk.races)
+        waived.extend(chk.waived)
+    return races, waived, len(segments), accesses, len(sync_total)
+
+
+def certify_drf(
+    workload: Union[str, WorkloadRef],
+    gpu: Optional[GPUConfig] = None,
+    max_cycles: Optional[int] = None,
+) -> RaceReport:
+    """Certify one workload data-race-free (or name its races).
+
+    Runs on the baseline architecture with jitter disabled — the trace
+    is then a deterministic, legal interleaving whose issue order
+    agrees with functional memory effects (loads/stores take effect at
+    issue).  Determinism-layer architectures (DAB/GPUDet) reorder
+    *commits*, not program accesses, so DRF-ness is independent of the
+    traced architecture.
+    """
+    ref = CERT_WORKLOADS[workload] if isinstance(workload, str) else workload
+    holder: Dict[str, object] = {}
+
+    def capture():
+        w = ref()
+        holder["w"] = w
+        return w
+
+    obs = ObsConfig(trace=True, trace_categories=("access", "kernel"),
+                    trace_capacity=0)
+    result = run_workload(capture, ArchSpec.baseline(),
+                          gpu_config=gpu or GPUConfig.small(),
+                          jitter=False, obs=obs, max_cycles=max_cycles)
+    w = holder["w"]
+    info = dict(w.info)
+    info["_sync_ranges"] = tuple(
+        (w.mem.base_of(name), w.mem.base_of(name) + 4 * len(w.mem.buffer(name)))
+        for name in info.get("sync_buffers", ())
+    )
+    events = result.obs.tracer.events()
+    races, waived, kernels, accesses, sync_addrs = analyze_trace(
+        events, w.mem.locate, info)
+    report = RaceReport(
+        workload=w.name,
+        races=races[:MAX_REPORTED_RACES],
+        waived=waived[:MAX_REPORTED_RACES],
+        total_races=len(races),
+        total_waived=len(waived),
+        kernels=kernels,
+        accesses=accesses,
+        sync_addrs=sync_addrs,
+    )
+    return report
+
+
+def certify_all(
+    workloads: Optional[Sequence[str]] = None,
+    gpu: Optional[GPUConfig] = None,
+) -> List[RaceReport]:
+    """Certify every preset workload; returns one report per workload."""
+    names = list(workloads) if workloads else list(CERT_WORKLOADS)
+    unknown = [n for n in names if n not in CERT_WORKLOADS]
+    if unknown:
+        raise ValueError(
+            f"unknown certification workload(s) {unknown}; "
+            f"known: {', '.join(CERT_WORKLOADS)}")
+    return [certify_drf(n, gpu=gpu) for n in names]

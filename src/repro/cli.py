@@ -12,6 +12,11 @@ Examples::
     python -m repro audit --workload microbench --trace-digest
     python -m repro chaos --seeds 10
     python -m repro chaos --workload pagerank:coA --journal /tmp/chaos.jsonl
+    python -m repro check diff --jobs 4
+    python -m repro check diff --workloads atomic_sum,histogram --json -
+    python -m repro check drf
+    python -m repro check drf --workload lock_sum_racy   # expected RACY
+    python -m repro audit --workload microbench --drf
     python -m repro experiment fig10
     python -m repro list
 
@@ -22,8 +27,11 @@ jitter seeds and reports bitwise digests (the determinism check);
 ``chaos`` fuzzes seeded fault plans against all three architectures
 and asserts DAB/GPUDet outputs stay bitwise identical while the
 baseline diverges, then corrupts the flush protocol on purpose and
-asserts the invariant checker catches it; ``experiment`` regenerates
-one paper table/figure by name.
+asserts the invariant checker catches it; ``check`` is the conformance
+subsystem — ``check diff`` runs the workload × architecture matrix
+against the ISA-level reference oracle, ``check drf`` certifies
+workloads data-race-free; ``experiment`` regenerates one paper
+table/figure by name.
 """
 
 from __future__ import annotations
@@ -34,6 +42,9 @@ import os
 import sys
 from typing import Callable, Dict, Optional
 
+from repro.check.differential import diff_one, run_differential
+from repro.check.presets import CERT_WORKLOADS, DIFF_WORKLOADS
+from repro.check.racecert import certify_drf
 from repro.config import GPUConfig
 from repro.core.dab import BufferLevel, DABConfig
 from repro.faults import FaultConfig, FaultPlan, InvariantViolation
@@ -296,6 +307,12 @@ def cmd_audit(args) -> int:
                   f"digest(s) across seeds; seed {seeds[0]} repeat run "
                   f"{'IDENTICAL' if same else 'DIVERGED'} "
                   f"({repeat.obs.tracer.digest()[:16]}…)")
+    if getattr(args, "drf", False):
+        # Determinism is only *guaranteed* for data-race-free programs;
+        # certify the precondition alongside the digest audit.
+        report = certify_drf(ref, gpu=config)
+        ok = ok and report.ok
+        print("  " + report.render().replace("\n", "\n  "))
     return 0 if ok else 1
 
 
@@ -386,6 +403,74 @@ def cmd_chaos(args) -> int:
             print(f"  {name:5s} entry fault -> NOT DETECTED "
                   f"(run completed cleanly)")
     print("chaos campaign PASSED" if ok else "chaos campaign FAILED")
+    return 0 if ok else 1
+
+
+def cmd_check_diff(args) -> int:
+    """Differential conformance: matrix vs the reference oracle."""
+    names = None
+    if args.workloads:
+        names = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    if args.inject_drop:
+        return _check_diff_inject_drop(args)
+    try:
+        report = run_differential(workloads=names, seed=args.seed,
+                                  jobs=args.jobs,
+                                  attribute_cycles=not args.no_attribution)
+    except ValueError as e:
+        raise SystemExit(f"check diff: {e}")
+    print(report.render())
+    if args.json:
+        text = json.dumps(report.to_doc(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"report json: {args.json}")
+    return 0 if report.ok else 1
+
+
+def _check_diff_inject_drop(args) -> int:
+    """Detector self-test: a seeded drop-fault must produce a structured
+    mismatch naming the corrupted address (exit 0 iff it does)."""
+    mismatches, status = diff_one(
+        "multi_target", ArchSpec.make_dab(), seed=args.seed,
+        faults=FaultPlan(1, FaultConfig(drop_prob=0.3)))
+    print(f"drop-fault injection on 'multi_target' (DAB): status={status}, "
+          f"{len(mismatches)} mismatch(es)")
+    for m in mismatches:
+        print("  " + m.render())
+    named = [m for m in mismatches if m.addr >= 0]
+    if named:
+        print("drop-fault DETECTED (corrupted addresses named above)")
+        return 0
+    print("drop-fault NOT detected — differential harness is blind to it")
+    return 1
+
+
+def cmd_check_drf(args) -> int:
+    """Dynamic race certification over the preset workloads."""
+    if args.workload:
+        names = [w.strip() for w in args.workload.split(",") if w.strip()]
+    else:
+        names = list(CERT_WORKLOADS)
+    refs = dict(CERT_WORKLOADS)
+    # The seeded negative control is addressable by name (expected RACY;
+    # `check drf --workload lock_sum_racy` exits 1 — CI asserts that).
+    refs["lock_sum_racy"] = WorkloadRef(
+        "lock_sum_racy", kwargs={"n": 128, "cta_dim": 64})
+    unknown = [n for n in names if n not in refs]
+    if unknown:
+        raise SystemExit(
+            f"check drf: unknown workload(s) {unknown}; "
+            f"known: {', '.join(refs)}")
+    ok = True
+    for name in names:
+        report = certify_drf(refs[name])
+        ok = ok and report.ok
+        print(report.render())
+    print("race certification PASSED" if ok else "race certification FAILED")
     return 0 if ok else 1
 
 
@@ -480,6 +565,9 @@ def build_parser() -> argparse.ArgumentParser:
     audit_p.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="worker processes for the seed sweep "
                               "(incompatible with --trace-digest)")
+    audit_p.add_argument("--drf", action="store_true",
+                         help="also certify the workload data-race-free "
+                              "(DAB's weak-determinism precondition)")
     audit_p.set_defaults(fn=cmd_audit)
 
     chaos_p = sub.add_parser(
@@ -499,6 +587,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="checkpoint/resume journal; a killed campaign "
                               "rerun with the same path resumes")
     chaos_p.set_defaults(fn=cmd_chaos)
+
+    check_p = sub.add_parser(
+        "check", help="conformance: differential vs oracle, DRF certification")
+    check_sub = check_p.add_subparsers(dest="check_command", required=True)
+    diff_p = check_sub.add_parser(
+        "diff", help="diff workload x architecture matrix against the "
+                     "ISA-level reference oracle")
+    diff_p.add_argument("--workloads", metavar="CSV", default=None,
+                        help="comma-separated subset of "
+                             f"{{{','.join(DIFF_WORKLOADS)}}} "
+                             "(default: all)")
+    diff_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the matrix")
+    diff_p.add_argument("--seed", type=int, default=1,
+                        help="jitter seed for the simulated runs")
+    diff_p.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the structured report here "
+                             "('-' = stdout)")
+    diff_p.add_argument("--no-attribution", action="store_true",
+                        help="skip traced re-runs that attribute multiset "
+                             "mismatches to a first divergent commit cycle")
+    diff_p.add_argument("--inject-drop", action="store_true",
+                        help="detector self-test: seed a drop-fault and "
+                             "require a structured mismatch naming the "
+                             "corrupted address")
+    diff_p.set_defaults(fn=cmd_check_diff)
+    drf_p = check_sub.add_parser(
+        "drf", help="certify workloads data-race-free via vector-clock "
+                    "happens-before over the access trace")
+    drf_p.add_argument("--workload", metavar="CSV", default=None,
+                       help="comma-separated workload names "
+                            "(default: every preset; 'lock_sum_racy' is "
+                            "the seeded negative control, expected RACY)")
+    drf_p.set_defaults(fn=cmd_check_drf)
 
     exp_p = sub.add_parser("experiment", help="regenerate one table/figure")
     exp_p.add_argument("name")

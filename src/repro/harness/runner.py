@@ -63,6 +63,7 @@ def run_workload(
     obs: Optional[ObsConfig] = None,
     faults: Optional[FaultPlan] = None,
     invariants=False,
+    record_state: bool = False,
 ) -> SimResult:
     """Build a fresh workload instance and run it to completion.
 
@@ -76,8 +77,18 @@ def run_workload(
     :class:`~repro.faults.InvariantConfig`) to assert protocol
     invariants at runtime; fault/checker tallies land in
     ``extra['faults_injected']`` / ``extra['invariant_checks']``.
+    ``record_state=True`` attaches a
+    :class:`~repro.memory.globalmem.CommitRecorder` and serialises the
+    reduction-commit stream into ``extra['red_commits']`` and the final
+    memory image into ``extra['final_mem']`` (both JSON strings; the
+    conformance harness diffs them against the reference oracle — plain
+    strings survive sweep-worker pickling and metrics round-trips).
     """
     workload = factory()
+    if record_state:
+        from repro.memory.globalmem import CommitRecorder
+
+        workload.mem.commit_log = CommitRecorder()
     gpu = GPU(
         gpu_config or GPUConfig.small(),
         workload.mem,
@@ -98,4 +109,26 @@ def run_workload(
         result.extra["faults_injected"] = gpu.faults.total_injected
     if gpu.inv is not None:
         result.extra["invariant_checks"] = gpu.inv.checks
+    if record_state:
+        import base64
+        import json
+
+        result.extra["red_commits"] = json.dumps(
+            [[op.addr, op.opcode, [float(v) for v in op.operands]]
+             for op in workload.mem.commit_log.reductions()],
+            separators=(",", ":"),
+        )
+        mem = workload.mem
+        result.extra["final_mem"] = json.dumps(
+            {
+                name: {
+                    "base": mem.base_of(name),
+                    "float": mem.is_float_buffer(name),
+                    "data": base64.b64encode(
+                        mem.buffer(name).tobytes()).decode("ascii"),
+                }
+                for name in mem.buffer_names()
+            },
+            separators=(",", ":"), sort_keys=True,
+        )
     return result

@@ -75,7 +75,7 @@ from repro.sim.results import SimResult
 from repro.workloads import Workload
 from repro.workloads.bc import build_bc
 from repro.workloads.convolution import build_conv
-from repro.workloads.locks import build_lock_sum
+from repro.workloads.locks import build_lock_sum, build_lock_sum_racy
 from repro.workloads.microbench import (
     build_atomic_sum,
     build_histogram,
@@ -88,7 +88,7 @@ from repro.workloads.sssp import build_sssp
 #: Bump on any change to the cache document layout or to simulation
 #: semantics that the code fingerprint cannot see (e.g. a data file).
 #: Every bump invalidates the entire cache.
-SWEEP_CACHE_VERSION = 1
+SWEEP_CACHE_VERSION = 2  # v2: JobSpec.record_state + metrics schema v2
 
 #: Schema tag of on-disk cache documents.
 CACHE_SCHEMA = "repro.sweep-cache/v1"
@@ -141,6 +141,7 @@ WORKLOAD_FACTORIES: Dict[str, Callable[..., Workload]] = {
     "sssp": build_sssp,
     "conv": build_conv,
     "lock_sum": build_lock_sum,
+    "lock_sum_racy": build_lock_sum_racy,
     "atomic_sum": build_atomic_sum,
     "order_sensitive": build_order_sensitive,
     "histogram": build_histogram,
@@ -214,6 +215,9 @@ class JobSpec:
     fault_seed: int = 0
     #: assert protocol invariants at runtime during this job.
     invariants: bool = False
+    #: record the reduction-commit stream into ``extra['red_commits']``
+    #: (conformance diffing — see :mod:`repro.check`).
+    record_state: bool = False
 
     def resolved_gpu(self) -> GPUConfig:
         return self.gpu if self.gpu is not None else GPUConfig.small()
@@ -438,6 +442,7 @@ def _execute_spec(spec: JobSpec, obs: Optional[ObsConfig] = None) -> SimResult:
         faults=(FaultPlan(spec.fault_seed, spec.faults)
                 if spec.faults is not None else None),
         invariants=spec.invariants,
+        record_state=spec.record_state,
     )
 
 

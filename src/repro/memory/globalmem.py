@@ -61,6 +61,37 @@ class _Buffer:
         return self.base + len(self.data) * WORD_BYTES
 
 
+class CommitRecorder:
+    """Records every atomic committed through :meth:`GlobalMemory.apply_atomic`.
+
+    Attach via ``mem.commit_log = CommitRecorder()`` before a run; the
+    conformance harness (:mod:`repro.check`) compares the resulting op
+    multiset against the reference oracle's.  Because *all* commit paths
+    (baseline ROP, DAB flush application, GPUDet serial atomics) funnel
+    through ``apply_atomic``, the recorder sees the true commit stream
+    regardless of architecture.  When ``obs`` is set and wants the
+    ``commit`` category, each commit is also emitted as a cycle-stamped
+    trace event so mismatches can be attributed to a commit cycle.
+    """
+
+    __slots__ = ("ops", "obs")
+
+    def __init__(self, obs=None):
+        self.ops: List[AtomicOp] = []
+        self.obs = obs
+
+    def record(self, op: AtomicOp) -> None:
+        self.ops.append(op)
+        obs = self.obs
+        if obs is not None and obs.wants("commit"):
+            obs.emit("commit", "apply", addr=op.addr, op=op.opcode,
+                     args=[float(v) for v in op.operands])
+
+    def reductions(self) -> List[AtomicOp]:
+        """Only the fusable reduction ops (``add``/``min``/``max``)."""
+        return [op for op in self.ops if op.is_reduction]
+
+
 class GlobalMemory:
     """Flat byte-addressed memory composed of named typed buffers."""
 
@@ -69,6 +100,8 @@ class GlobalMemory:
         self._bases: List[int] = []
         self._by_name: Dict[str, _Buffer] = {}
         self._next_base = _HEAP_BASE
+        #: optional CommitRecorder observing every applied atomic.
+        self.commit_log: Optional[CommitRecorder] = None
 
     # -- allocation -----------------------------------------------------
     def alloc(self, name: str, n: int, dtype: str = "f32", init=None) -> int:
@@ -109,6 +142,18 @@ class GlobalMemory:
 
     def base_of(self, name: str) -> int:
         return self._by_name[name].base
+
+    def buffer_names(self) -> List[str]:
+        """All buffer names in allocation order."""
+        return [b.name for b in self._buffers]
+
+    def is_float_buffer(self, name: str) -> bool:
+        return self._by_name[name].is_float
+
+    def locate(self, addr: int) -> Tuple[str, int]:
+        """Map a byte address to ``(buffer name, word index)``."""
+        buf, idx = self._locate(int(addr))
+        return buf.name, idx
 
     # -- address resolution ----------------------------------------------
     def _locate(self, addr: int) -> Tuple[_Buffer, int]:
@@ -171,6 +216,8 @@ class GlobalMemory:
             buf.data[idx] = int(old) + 1
         else:
             raise ValueError(f"unsupported atomic opcode {op.opcode!r}")
+        if self.commit_log is not None:
+            self.commit_log.record(op)
         return old
 
     # -- determinism auditing ----------------------------------------------

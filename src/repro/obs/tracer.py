@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Every category the simulator emits (CLI validates filters against it).
 CATEGORIES = ("buffer", "sched", "flush", "partition", "dispatch", "kernel",
-              "fault")
+              "fault", "commit", "access")
 
 
 class TraceEvent(Tuple):

@@ -28,7 +28,7 @@ from repro.core.flush import FlushController
 from repro.faults import FaultInjector, FaultPlan, InvariantChecker, InvariantConfig
 from repro.interconnect.network import Network
 from repro.memory.address import AddressMap
-from repro.memory.globalmem import GlobalMemory
+from repro.memory.globalmem import CommitRecorder, GlobalMemory
 from repro.memory.partition import MemoryPartition
 from repro.obs import Observability, ObsConfig
 from repro.sim.cluster import Cluster
@@ -80,6 +80,12 @@ class GPU:
         self.obs: Optional[Observability] = (
             Observability(obs) if obs is not None and obs.enabled else None
         )
+        if self.obs is not None and self.obs.wants("commit"):
+            # Cycle-stamp every atomic commit (conformance tooling); the
+            # recorder is shared with any caller-attached one.
+            if mem.commit_log is None:
+                mem.commit_log = CommitRecorder()
+            mem.commit_log.obs = self.obs
         #: fault injector; None when no plan is armed, so every injection
         #: seam reduces to one attribute test (same contract as ``obs``).
         self.faults: Optional[FaultInjector] = (

@@ -12,7 +12,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Version tag for the ``metrics_dict`` document layout.  Bump only on
 #: breaking key changes; downstream tooling (CI smoke checks, bench
 #: trackers) pins on it.
-METRICS_SCHEMA = "repro.metrics/v1"
+#:
+#: v2: ``from_metrics_dict`` round-trips the sweep provenance flags
+#: (``extra['cache_hit']`` / ``extra['journal_hit']``) instead of
+#: silently dropping them.  v1 documents are still accepted — their
+#: provenance flags are discarded because v1 producers re-derived them
+#: on load, so a stored flag is stale by construction.
+METRICS_SCHEMA = "repro.metrics/v2"
+
+#: Schemas ``from_metrics_dict`` accepts.
+_KNOWN_SCHEMAS = ("repro.metrics/v1", METRICS_SCHEMA)
 
 _STRICT_ENV = "REPRO_STRICT_STALLS"
 
@@ -147,7 +156,19 @@ class SimResult:
         ``trace`` / ``host_profile``) are run-local and are *not*
         restored — a reconstructed result has ``obs=None``.  Used by the
         sweep engine's disk cache (``repro.harness.sweep``).
+
+        Version-gated: v2 documents round-trip the sweep provenance
+        flags (``cache_hit`` / ``journal_hit``); v1 documents (and
+        unversioned ones, treated as v1) drop them as the v1 reader
+        always did.  Unknown schemas raise rather than silently
+        misreading a future layout.
         """
+        schema = str(doc.get("schema", "repro.metrics/v1"))
+        if schema not in _KNOWN_SCHEMAS:
+            raise ValueError(
+                f"unsupported metrics schema {schema!r} "
+                f"(known: {', '.join(_KNOWN_SCHEMAS)})"
+            )
         stalls = StallBreakdown()
         for k, v in dict(doc.get("stalls", {})).items():
             if k in StallBreakdown._FIELDS:
@@ -156,8 +177,9 @@ class SimResult:
         flush = dict(doc.get("flush", {}))
         icnt = dict(doc.get("icnt", {}))
         extra = dict(doc.get("extra", {}))
-        extra.pop("cache_hit", None)    # provenance, not simulation output
-        extra.pop("journal_hit", None)  # likewise
+        if schema == "repro.metrics/v1":
+            extra.pop("cache_hit", None)    # stale v1 provenance
+            extra.pop("journal_hit", None)  # likewise
         return cls(
             label=str(doc.get("label", "")),
             cycles=int(doc["cycles"]),

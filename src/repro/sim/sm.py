@@ -170,6 +170,8 @@ class SM:
             )
             warp.launched_cycle = now
             warp.ready_cycle = now
+            if self.obs is not None and self.obs.wants("access"):
+                warp.capture_addrs = True
             self.sched_slots[sched][local] = warp
             self.schedulers[sched].notify_warp_added(self.sched_slots[sched], local)
             self.live_count += 1
@@ -369,6 +371,9 @@ class SM:
         if self.gpu.gpudet is not None:
             self.gpu.gpudet.after_step(now, warp, result)
 
+        if self.obs is not None and self.obs.wants("access"):
+            self._emit_access(warp, result)
+
         if oc is OpClass.ALU:
             warp.ready_cycle = now + cfg.alu_latency
         elif oc is OpClass.SFU:
@@ -396,6 +401,26 @@ class SM:
             self._handle_mem(now, warp, result)
             if result.mem is not None and result.mem.kind in ("red", "atom"):
                 self.atomics += 1
+
+    def _emit_access(self, warp: Warp, result) -> None:
+        """Emit one ``access`` trace event for the race certifier.
+
+        Memory instructions carry exact per-lane word addresses (the
+        warp captures them when ``capture_addrs`` is set at placement);
+        ``bar.sync`` arrivals are emitted so the checker can join CTA
+        clocks per barrier generation.  Events appear in issue order,
+        which for a jitter-free baseline run is a legal interleaving of
+        the program's memory accesses (loads/stores take effect at
+        issue in the functional model).
+        """
+        mem = result.mem
+        if mem is not None:
+            self.obs.emit(
+                "access", mem.kind, cta=warp.cta.cta_id, warp=warp.uid,
+                addrs=list(mem.addrs), gtids=list(mem.gtids),
+            )
+        elif result.op_class is OpClass.BARRIER:
+            self.obs.emit("access", "bar", cta=warp.cta.cta_id, warp=warp.uid)
 
     # ------------------------------------------------------------------
     # Instruction-class handlers.

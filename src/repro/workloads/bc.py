@@ -225,5 +225,11 @@ def build_bc(
             "paper_edges": g.spec.paper_edges if g.spec else None,
             "paper_atomics_pki": g.spec.paper_atomics_pki if g.spec else None,
             "source": source,
+            # The forward kernel's frontier marking is a benign
+            # same-value race: every concurrent writer stores the same
+            # level into d[v] (see _FWD_PROG).  The race certifier
+            # reports accesses to waived buffers separately without
+            # failing certification.
+            "race_exempt_buffers": ("d",),
         },
     )

@@ -129,13 +129,27 @@ LOOP:
 @p_todo bra LOOP
 """
 
+# Seeded racy variant for the race certifier (repro.check.racecert):
+# ts_backoff, plus thread 0 performing one *unprotected* store to the
+# output after it has released the lock.  Everything before a thread's
+# ``st serving`` release is ordered with later critical sections, so a
+# pre-release rogue access would be (correctly) certified race-free;
+# an access after the thread's last release has no happens-before edge
+# to any other thread's critical section — a genuine data race the
+# certifier must flag.
+_RACY_EPILOGUE = """
+    setp.eq.s32 p_rogue, r_i, 0
+@p_rogue st.global.f32 [c_out], r_v
+"""
+
 _PROGRAMS = {
     "ts": assemble(_TEMPLATE.format(BODY=_TS_BODY)),
     "ts_backoff": assemble(_TEMPLATE.format(BODY=_TS_BACKOFF_BODY)),
     "tts": assemble(_TEMPLATE.format(BODY=_TTS_BODY)),
+    "racy": assemble(_TEMPLATE.format(BODY=_TS_BACKOFF_BODY + _RACY_EPILOGUE)),
 }
 
-LOCK_ALGORITHMS = tuple(_PROGRAMS)
+LOCK_ALGORITHMS = ("ts", "ts_backoff", "tts")
 
 
 def build_lock_sum(
@@ -146,12 +160,11 @@ def build_lock_sum(
     The expected result equals the f32 left-to-right sum in thread-id
     order (tickets serialize the critical sections in that order).
     """
-    try:
-        prog = _PROGRAMS[algorithm]
-    except KeyError:
+    if algorithm not in LOCK_ALGORITHMS:
         raise ValueError(
             f"unknown lock algorithm {algorithm!r}; choose from {LOCK_ALGORITHMS}"
-        ) from None
+        )
+    prog = _PROGRAMS[algorithm]
     rng = np.random.default_rng(seed)
     data = (rng.standard_normal(n) * 100).astype(np.float32)
     mem = GlobalMemory()
@@ -181,5 +194,36 @@ def build_lock_sum(
         mem=mem,
         kernels=[kernel],
         outputs=["out"],
-        info={"n": n, "algorithm": algorithm, "reference_f32": float(acc)},
+        # "serving" is a synchronization variable accessed with plain
+        # loads/stores (a volatile ticket counter): the race certifier
+        # treats declared sync buffers as acquire/release locations,
+        # which is what makes the hand-over-hand ticket chain carry
+        # happens-before edges between critical sections.  "lock" needs
+        # no declaration — it is atomically accessed.
+        info={"n": n, "algorithm": algorithm, "reference_f32": float(acc),
+              "sync_buffers": ("serving",)},
+    )
+
+
+def build_lock_sum_racy(n: int = 512, seed: int = 0, cta_dim: int = 128) -> Workload:
+    """The seeded *racy* lock variant (certifier negative control).
+
+    Identical to ``ts_backoff``, except thread 0 re-stores its input
+    value to ``out`` *after* releasing the lock — an unprotected write
+    racing with every later critical section.  The race certifier must
+    flag it; everything else about the workload (termination, ticket
+    protocol) is sound.
+    """
+    w = build_lock_sum("ts_backoff", n=n, seed=seed, cta_dim=cta_dim)
+    kernel = w.kernels[0]
+    racy_kernel = Kernel(
+        "lock_racy", _PROGRAMS["racy"], kernel.grid_dim, kernel.cta_dim,
+        params=dict(kernel.params),
+    )
+    return Workload(
+        name=f"lock_racy_{n}",
+        mem=w.mem,
+        kernels=[racy_kernel],
+        outputs=["out"],
+        info=dict(w.info, algorithm="racy"),
     )

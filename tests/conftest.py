@@ -1,0 +1,12 @@
+"""Repo-wide pytest options."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden conformance snapshots under tests/golden/ "
+             "from the current reference oracle instead of asserting "
+             "against them",
+    )

@@ -1,0 +1,258 @@
+"""End-to-end tests for the conformance subsystem (repro.check).
+
+Covers the three tentpole layers working together: the reference
+oracle's golden semantics, the differential harness over a real
+workload × architecture sub-matrix (through the sweep engine, with
+worker processes), fault-injection detectability, and the vector-clock
+race certifier on both clean and seeded-racy programs.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.check.differential import (
+    Mismatch,
+    diff_one,
+    parse_final_mem,
+    parse_red_commits,
+    run_differential,
+)
+from repro.check.oracle import OracleError, run_oracle, summarize_reds
+from repro.check.presets import CERT_WORKLOADS, DIFF_WORKLOADS, diff_archs
+from repro.check.racecert import analyze_trace, certify_drf
+from repro.faults import FaultConfig, FaultPlan
+from repro.harness.runner import ArchSpec
+from repro.harness.sweep import WorkloadRef
+from repro.memory.globalmem import AtomicOp
+
+
+class TestOracle:
+    def test_atomic_sum_matches_exact_f64_reference(self):
+        res = run_oracle(DIFF_WORKLOADS["atomic_sum"].ref)
+        out = res.memory["out"]
+        ops = [op for op in res.red_ops if op.opcode == "add.f32"]
+        assert len(ops) == 512
+        # The oracle's own result must be inside the fp bound of the
+        # exact f64 sum — a smoke check that it actually summed.
+        vals = np.float64([op.operands[0] for op in ops])
+        exact = float(np.sum(vals))
+        bound = len(ops) * 2.0 ** -24 * float(np.sum(np.abs(vals)))
+        assert abs(float(out[0]) - exact) <= bound
+        assert res.kernels == 1 and res.atom_count == 0
+
+    def test_histogram_is_exact_integers(self):
+        res = run_oracle(DIFF_WORKLOADS["histogram"].ref)
+        hist = res.memory["hist"]
+        assert int(hist.sum()) == 512  # one increment per element
+        summary = res.red_summary()
+        assert all(op == "add.s32" for (_a, op) in summary)
+
+    def test_locate_names_buffers(self):
+        res = run_oracle(DIFF_WORKLOADS["atomic_sum"].ref)
+        (addr, _op), _stat = next(iter(res.red_summary().items()))
+        name, idx = res.locate(addr)
+        assert name == "out" and idx == 0
+
+    def test_step_budget_enforced(self):
+        with pytest.raises(OracleError, match="step budget"):
+            run_oracle(DIFF_WORKLOADS["lock_ts"].ref, step_budget=100)
+
+    def test_memory_digest_is_stable(self):
+        a = run_oracle(DIFF_WORKLOADS["order_sensitive"].ref)
+        b = run_oracle(DIFF_WORKLOADS["order_sensitive"].ref)
+        assert a.memory_digest() == b.memory_digest()
+
+
+class TestDifferentialMatrix:
+    def test_microbench_matrix_with_workers(self):
+        report = run_differential(
+            workloads=["atomic_sum", "order_sensitive", "histogram"],
+            jobs=2)
+        assert report.ok, report.render()
+        # 3 workloads × (baseline + 4 DAB + GPUDet).
+        assert report.cells == 18
+        doc = report.to_doc()
+        assert doc["schema"] == "repro.check-diff/v1"
+        assert doc["ok"] is True and not doc["mismatches"]
+        assert "differential" in report.render()
+
+    def test_lock_workloads_skip_dab_columns(self):
+        report = run_differential(workloads=["lock_ts"], jobs=1)
+        assert report.ok, report.render()
+        archs = {row["arch"] for row in report.rows}
+        assert archs == {"baseline", "GPUDet"}
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown conformance workload"):
+            run_differential(workloads=["nope"])
+
+    def test_wire_format_round_trip(self):
+        ops = [AtomicOp(4096, "add.f32", (1.5,)),
+               AtomicOp(4100, "max.s32", (7,))]
+        payload = json.dumps(
+            [[op.addr, op.opcode, [float(v) for v in op.operands]]
+             for op in ops])
+        back = parse_red_commits(payload)
+        assert back == ops
+        assert isinstance(back[1].operands[0], int)  # dtype-faithful
+
+    def test_mismatch_render_names_address(self):
+        m = Mismatch(workload="w", arch="a", kind="memory", buffer="out",
+                     index=3, addr=0x1400, expected=1.0, got=2.0,
+                     detail="boom")
+        text = m.render()
+        assert "out[3]" in text and "0x1400" in text and "boom" in text
+
+
+class TestFaultDetection:
+    """Acceptance: an injected drop-fault must yield a structured
+    mismatch naming the corrupted address."""
+
+    def test_drop_fault_produces_named_mismatch(self):
+        mismatches, status = diff_one(
+            "multi_target", ArchSpec.make_dab(), seed=1,
+            faults=FaultPlan(1, FaultConfig(drop_prob=0.3)))
+        assert mismatches
+        named = [m for m in mismatches if m.buffer == "out" and m.addr >= 0]
+        assert named, [m.render() for m in mismatches]
+        # The run deadlocks under the strict protocol; the harness must
+        # still diff the partial state rather than giving up.
+        assert any(m.kind == "run-error" for m in mismatches) or status == "ok"
+
+    def test_clean_run_has_no_mismatches(self):
+        mismatches, status = diff_one("multi_target", ArchSpec.make_dab())
+        assert status == "ok" and not mismatches
+
+
+class TestRaceCertifier:
+    def test_all_presets_certify_drf(self):
+        # The full-preset sweep runs in CI (`repro check drf`); here the
+        # cheap representative subset keeps tier-1 fast.
+        for name in ("atomic_sum", "histogram", "multi_target", "conv"):
+            report = certify_drf(name)
+            assert report.ok, report.render()
+            assert report.accesses > 0
+
+    def test_lock_chain_carries_happens_before(self):
+        report = certify_drf("lock_ts_backoff")
+        assert report.ok, report.render()
+        assert report.sync_addrs >= 2  # lock + serving
+
+    def test_bc_races_are_waived_not_fatal(self):
+        report = certify_drf("bc")
+        assert report.ok, report.render()
+        assert report.total_waived > 0
+        assert all(r.buffer == "d" for r in report.waived)
+        assert "waived" in report.verdict()
+
+    def test_racy_variant_is_flagged(self):
+        report = certify_drf(WorkloadRef(
+            "lock_sum_racy", kwargs={"n": 128, "cta_dim": 64}))
+        assert not report.ok
+        assert report.total_races > 0
+        racy = report.races[0]
+        assert racy.buffer == "out"
+        assert 0 in (racy.gtid_a, racy.gtid_b)  # the rogue thread
+        doc = report.to_doc()
+        assert doc["ok"] is False and doc["races"] == report.total_races
+
+    def test_every_cert_preset_is_buildable(self):
+        for name, ref in CERT_WORKLOADS.items():
+            assert callable(ref), name
+
+
+class TestAnalyzeTraceUnit:
+    """The happens-before core on hand-built traces."""
+
+    @staticmethod
+    def locate(addr):
+        return "buf", (addr - 4096) // 4
+
+    def ev(self, name, warp, addrs, gtids=None, cta=0, cycle=0):
+        if name == "bar":
+            return (cycle, "access", "bar", {"warp": warp, "cta": cta})
+        return (cycle, "access", name,
+                {"warp": warp, "cta": cta, "addrs": addrs,
+                 "gtids": gtids or [warp * 32] * len(addrs)})
+
+    def analyze(self, events, info=None):
+        return analyze_trace(events, self.locate, info or {})
+
+    def test_unordered_cross_warp_write_write_races(self):
+        races, _w, kernels, accesses, _s = self.analyze([
+            self.ev("store", 0, [4096]),
+            self.ev("store", 1, [4096]),
+        ])
+        assert kernels == 1 and accesses == 2
+        assert len(races) == 1
+        assert {races[0].warp_a, races[0].warp_b} == {0, 1}
+
+    def test_reads_never_race_with_reads(self):
+        races, *_ = self.analyze([
+            self.ev("load", 0, [4096]),
+            self.ev("load", 1, [4096]),
+        ])
+        assert not races
+
+    def test_atomic_location_is_exempt_and_orders(self):
+        # Both warps touch addr 4096 atomically, then plain-access 4100:
+        # the sync location carries acquire/release, so no race.
+        races, *_ = self.analyze([
+            self.ev("store", 0, [4100]),
+            self.ev("red", 0, [4096]),
+            self.ev("red", 1, [4096]),
+            self.ev("load", 1, [4100]),
+        ])
+        assert not races
+
+    def test_barrier_joins_cta_clocks(self):
+        races, *_ = self.analyze([
+            self.ev("store", 0, [4100]),
+            self.ev("bar", 0, []),
+            self.ev("bar", 1, []),
+            self.ev("load", 1, [4100]),
+        ])
+        assert not races
+
+    def test_without_barrier_same_pattern_races(self):
+        races, *_ = self.analyze([
+            self.ev("store", 0, [4100]),
+            self.ev("load", 1, [4100]),
+        ])
+        assert len(races) == 1
+        assert races[0].kind_a == "store" and races[0].kind_b == "load"
+
+    def test_kernel_boundary_is_a_global_join(self):
+        races, _w, kernels, *_ = self.analyze([
+            (0, "kernel", "begin", {"kernel": "k1"}),
+            self.ev("store", 0, [4100]),
+            (1, "kernel", "begin", {"kernel": "k2"}),
+            self.ev("load", 1, [4100]),
+        ])
+        assert kernels == 2 and not races
+
+    def test_intra_instruction_duplicate_store_lanes_race(self):
+        races, *_ = self.analyze([
+            self.ev("store", 0, [4100, 4100], gtids=[3, 9]),
+        ])
+        assert len(races) == 1
+        assert races[0].warp_a == races[0].warp_b == 0
+        assert {races[0].gtid_a, races[0].gtid_b} == {3, 9}
+
+    def test_declared_sync_buffer_ranges_are_exempt(self):
+        info = {"_sync_ranges": ((4100, 4104),)}
+        races, _w, _k, _a, sync_addrs = self.analyze([
+            self.ev("store", 0, [4100]),
+            self.ev("load", 1, [4100]),
+        ], info)
+        assert not races and sync_addrs == 1
+
+    def test_waived_buffers_reported_separately(self):
+        info = {"race_exempt_buffers": ("buf",)}
+        races, waived, *_ = self.analyze([
+            self.ev("store", 0, [4100]),
+            self.ev("store", 1, [4100]),
+        ], info)
+        assert not races and len(waived) == 1 and waived[0].waived

@@ -1,0 +1,84 @@
+"""Golden-snapshot regression tests for the reference oracle.
+
+Each file under ``tests/golden/`` pins one conformance workload's
+oracle observables: per-buffer memory digests, the reduction-commit
+summary (per ``(addr, opcode)`` count plus an operand-multiset digest),
+and commit/kernel counts.  Any semantic change to the ISA interpreter,
+a workload kernel, or the graph generators shows up as a named drift —
+buffer by buffer, address by address — instead of a silent shift in
+downstream conformance results.
+
+Intentional changes are re-pinned with::
+
+    python -m pytest tests/integration/test_golden.py --update-golden
+"""
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.check.oracle import run_oracle
+from repro.check.presets import DIFF_WORKLOADS
+
+GOLDEN_DIR = pathlib.Path(__file__).parents[1] / "golden"
+
+
+def oracle_snapshot(name: str) -> dict:
+    """Run the oracle for one preset and condense it to stable digests."""
+    res = run_oracle(DIFF_WORKLOADS[name].ref)
+    buffers = {
+        bname: hashlib.sha256(arr.tobytes()).hexdigest()
+        for bname, arr in sorted(res.memory.items())
+    }
+    red_summary = {}
+    for (addr, opcode), stat in sorted(res.red_summary().items()):
+        ops_digest = hashlib.sha256(
+            json.dumps(stat.ops_key).encode()).hexdigest()[:16]
+        red_summary[f"{addr:#x}:{opcode}"] = [stat.count, ops_digest]
+    return {
+        "schema": "repro.golden/v1",
+        "workload": res.workload,
+        "buffers": buffers,
+        "red_summary": red_summary,
+        "red_commits": len(res.red_ops),
+        "atoms": res.atom_count,
+        "kernels": res.kernels,
+    }
+
+
+def drift_diff(golden: dict, current: dict) -> str:
+    """Human-readable field-by-field drift between two snapshots."""
+    lines = []
+    for section in ("buffers", "red_summary"):
+        old, new = golden.get(section, {}), current.get(section, {})
+        for key in sorted(set(old) | set(new)):
+            if old.get(key) != new.get(key):
+                lines.append(f"  {section}[{key}]: "
+                             f"{old.get(key, '<absent>')} -> "
+                             f"{new.get(key, '<absent>')}")
+    for key in ("workload", "red_commits", "atoms", "kernels"):
+        if golden.get(key) != current.get(key):
+            lines.append(f"  {key}: {golden.get(key)} -> {current.get(key)}")
+    return "\n".join(lines) or "  (snapshots identical)"
+
+
+@pytest.mark.parametrize("name", sorted(DIFF_WORKLOADS))
+def test_oracle_golden(name, request):
+    path = GOLDEN_DIR / f"{name}.json"
+    current = oracle_snapshot(name)
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"no golden snapshot for {name!r}; create it with "
+        f"`python -m pytest {__file__} --update-golden`"
+    )
+    golden = json.loads(path.read_text())
+    assert golden == current, (
+        f"oracle snapshot for {name!r} drifted from {path}:\n"
+        + drift_diff(golden, current)
+        + "\n(if intentional, re-pin with --update-golden)"
+    )

@@ -1,0 +1,163 @@
+"""Property tests for the conformance oracle's semantic claims.
+
+Two claims carry the whole differential harness:
+
+* **fusion/coalescing preserve semantics** — pre-combining a stream of
+  same-address reductions before committing (what DAB's buffer does)
+  yields the same final memory as committing each op individually:
+  bitwise for integer add/min/max, and within the harness's fp-rounding
+  bound for ``add.f32`` (fusion *reassociates*, it never loses or
+  invents operands);
+* **the oracle's deferred application is order-independent** — sorting
+  pending reductions by ``canonical_op_key`` before applying makes the
+  final memory a pure function of the operand *multiset*: any
+  permutation of arrival order produces a bitwise-identical image.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check.differential import ATOL_SCALE
+from repro.check.oracle import canonical_op_key, summarize_reds
+from repro.memory.globalmem import AtomicOp, GlobalMemory
+
+N_WORDS = 8
+
+# The heap base is deterministic: every fresh single-buffer GlobalMemory
+# lands "buf" at the same address.
+BASE = GlobalMemory().alloc("probe", N_WORDS, "f32")
+
+
+def _addr(idx: int) -> int:
+    return BASE + 4 * idx
+
+
+def _f32_ops(max_ops=64):
+    finite_f32 = st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False,
+        width=32)
+    return st.lists(
+        st.tuples(st.integers(0, N_WORDS - 1), finite_f32),
+        min_size=1, max_size=max_ops)
+
+
+def _int_ops(max_ops=64):
+    """(per-word opcode assignment, (word, value) stream).
+
+    One opcode per word: fusion combines *like* ops — interleaving
+    different reduction opcodes on one address is not fusable (and no
+    workload does it), so the generator never produces it.
+    """
+    opcode_map = st.tuples(*[
+        st.sampled_from(["add.s32", "min.s32", "max.s32"])
+        for _ in range(N_WORDS)
+    ])
+    stream = st.lists(
+        st.tuples(st.integers(0, N_WORDS - 1),
+                  st.integers(-2**31, 2**31 - 1)),
+        min_size=1, max_size=max_ops)
+    return st.tuples(opcode_map, stream)
+
+
+def _fresh(dtype: str):
+    mem = GlobalMemory()
+    base = mem.alloc("buf", N_WORDS, dtype)
+    return mem, base
+
+
+def _apply_all(mem, ops):
+    for op in ops:
+        mem.apply_atomic(op)
+    return mem.buffer("buf").copy()
+
+
+def _fused(ops):
+    """Pre-combine same-(addr, opcode) runs the way DAB's buffer does:
+    one combined op per address carrying the reduced operand."""
+    combined = {}
+    for op in ops:
+        root = op.opcode.split(".")[0]
+        key = (op.addr, op.opcode)
+        if key not in combined:
+            combined[key] = op.operands[0]
+        elif root == "add":
+            if op.opcode.endswith(".f32"):
+                combined[key] = np.float32(
+                    np.float32(combined[key]) + np.float32(op.operands[0]))
+            else:
+                combined[key] = int(combined[key]) + int(op.operands[0])
+        elif root == "min":
+            combined[key] = min(combined[key], op.operands[0])
+        else:
+            combined[key] = max(combined[key], op.operands[0])
+    return [AtomicOp(addr, opcode, (val,))
+            for (addr, opcode), val in combined.items()]
+
+
+@settings(max_examples=60, deadline=None)
+@given(_int_ops())
+def test_fusion_preserves_integer_reductions(raw):
+    opcode_map, stream = raw
+    ops = [AtomicOp(_addr(idx), opcode_map[idx], (val,))
+           for idx, val in stream]
+    mem_seq, _ = _fresh("s32")
+    seq = _apply_all(mem_seq, ops)
+    mem_fused, _ = _fresh("s32")
+    fused = _apply_all(mem_fused, _fused(ops))
+    assert np.array_equal(seq, fused), (
+        f"integer fusion diverged: sequential={seq} fused={fused}")
+
+
+@settings(max_examples=60, deadline=None)
+@given(_f32_ops())
+def test_fusion_bounded_for_f32_adds(raw):
+    """Fusing in a *different* order than the commit stream (here:
+    canonical sorted order, the oracle's) reassociates the f32 sums;
+    the drift must stay inside the differential harness's bound."""
+    ops = [AtomicOp(_addr(idx), "add.f32", (val,)) for idx, val in raw]
+    mem_seq, _ = _fresh("f32")
+    seq = _apply_all(mem_seq, ops)
+    mem_fused, _ = _fresh("f32")
+    fused = _apply_all(mem_fused, _fused(sorted(ops, key=canonical_op_key)))
+    summary = summarize_reds(ops)
+    for idx in range(N_WORDS):
+        stat = summary.get((_addr(idx), "add.f32"))
+        bound = (ATOL_SCALE * stat.count * 2.0 ** -24 * stat.sum_abs
+                 if stat else 0.0)
+        diff = abs(float(seq[idx]) - float(fused[idx]))
+        assert diff <= bound, (
+            f"word {idx}: fused f32 sum drifted {diff} > bound {bound}")
+
+
+@settings(max_examples=60, deadline=None)
+@given(_f32_ops(), st.randoms(use_true_random=False))
+def test_oracle_application_is_permutation_invariant(raw, rng):
+    """Canonically-sorted application is a pure function of the op
+    multiset: shuffling arrival order changes nothing, bitwise."""
+    ops = [AtomicOp(_addr(idx), "add.f32", (val,)) for idx, val in raw]
+    mem_a, _ = _fresh("f32")
+    ref = _apply_all(mem_a, sorted(ops, key=canonical_op_key))
+    shuffled = list(ops)
+    rng.shuffle(shuffled)
+    mem_b, _ = _fresh("f32")
+    out = _apply_all(mem_b, sorted(shuffled, key=canonical_op_key))
+    assert out.tobytes() == ref.tobytes(), (
+        "canonical application depended on arrival order")
+
+
+@settings(max_examples=60, deadline=None)
+@given(_int_ops(), st.randoms(use_true_random=False))
+def test_summary_is_permutation_invariant(raw, rng):
+    opcode_map, stream = raw
+    ops = [AtomicOp(_addr(idx), opcode_map[idx], (val,))
+           for idx, val in stream]
+    ref = summarize_reds(ops)
+    shuffled = list(ops)
+    rng.shuffle(shuffled)
+    got = summarize_reds(shuffled)
+    assert set(ref) == set(got)
+    for key in ref:
+        assert ref[key].count == got[key].count
+        assert ref[key].ops_key == got[key].ops_key
+        assert ref[key].int_sum == got[key].int_sum

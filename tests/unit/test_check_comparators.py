@@ -1,0 +1,207 @@
+"""Unit tests for the differential harness's comparators.
+
+Synthetic oracle results and commit streams drive every mismatch class
+the matrix can report — missing/extra/corrupt commits, count drift
+under fusion, integer-sum and extremum divergence, fp32 drift past the
+rounding bound, bitwise and tolerance-band memory diffs, truncation —
+plus divergence-cycle attribution from a commit trace.
+"""
+
+import numpy as np
+
+from repro.check.differential import (
+    MAX_MISMATCHES_PER_CELL,
+    compare_memory,
+    compare_multisets,
+    effective_fused,
+    first_divergent_commit,
+)
+from repro.check.oracle import OracleResult, operand_bits
+from repro.check.presets import WorkloadPolicy, diff_archs
+from repro.harness.runner import ArchSpec
+from repro.harness.sweep import WorkloadRef
+from repro.memory.globalmem import AtomicOp
+
+BASE = 4096
+
+
+def make_oracle(red_ops=(), n=4, float_buf=True, values=None):
+    dtype = np.float32 if float_buf else np.int64
+    data = np.asarray(values, dtype=dtype) if values is not None \
+        else np.zeros(n, dtype=dtype)
+    return OracleResult(
+        workload="synth", memory={"out": data}, bases={"out": BASE},
+        float_bufs=frozenset(["out"] if float_buf else []),
+        outputs=("out",), info={}, red_ops=list(red_ops),
+        atom_count=0, steps=0, kernels=1,
+    )
+
+
+def policy(**kw):
+    kw.setdefault("ref", WorkloadRef("atomic_sum", (64,)))
+    return WorkloadPolicy(**kw)
+
+
+def add_f32(idx, val):
+    return AtomicOp(BASE + 4 * idx, "add.f32", (float(val),))
+
+
+def add_s32(idx, val):
+    return AtomicOp(BASE + 4 * idx, "add.s32", (int(val),))
+
+
+class TestCompareMemory:
+    def test_bitwise_difference_is_named(self):
+        oracle = make_oracle(values=[1.0, 2.0, 3.0, 4.0])
+        sim = {"out": np.asarray([1.0, 2.5, 3.0, 4.0], dtype=np.float32)}
+        out = compare_memory("w", "a", oracle, sim, policy(), {})
+        assert len(out) == 1
+        m = out[0]
+        assert (m.buffer, m.index, m.addr) == ("out", 1, BASE + 4)
+        assert m.expected == 2.0 and m.got == 2.5
+
+    def test_missing_buffer_reported(self):
+        out = compare_memory("w", "a", make_oracle(), {}, policy(), {})
+        assert out and "missing" in out[0].detail
+
+    def test_truncation_after_cap(self):
+        n = MAX_MISMATCHES_PER_CELL + 3
+        oracle = make_oracle(n=n, values=[1.0] * n)
+        sim = {"out": np.zeros(n, dtype=np.float32)}
+        out = compare_memory("w", "a", oracle, sim, policy(), {})
+        assert len(out) == MAX_MISMATCHES_PER_CELL + 1
+        assert "more differing words" in out[-1].detail
+
+    def test_tolerance_band_accepts_rounding(self):
+        ops = [add_f32(0, v) for v in (1.0, 2.0, 3.0)]
+        oracle = make_oracle(ops, values=[6.0, 0.0, 0.0, 0.0])
+        from repro.check.oracle import summarize_reds
+        summary = summarize_reds(ops)
+        sim = {"out": np.asarray([6.0000005, 0, 0, 0], dtype=np.float32)}
+        pol = policy(tol_buffers=(("out", 0.0),))
+        assert not compare_memory("w", "a", oracle, sim, pol, summary)
+
+    def test_tolerance_band_rejects_corruption(self):
+        ops = [add_f32(0, v) for v in (1.0, 2.0, 3.0)]
+        oracle = make_oracle(ops, values=[6.0, 0.0, 0.0, 0.0])
+        from repro.check.oracle import summarize_reds
+        summary = summarize_reds(ops)
+        sim = {"out": np.asarray([7.5, 0, 0, 0], dtype=np.float32)}
+        pol = policy(tol_buffers=(("out", 0.0),))
+        out = compare_memory("w", "a", oracle, sim, pol, summary)
+        assert len(out) == 1 and "bound" in out[0].detail
+
+
+class TestCompareMultisets:
+    def run(self, oracle_ops, sim_ops, mode="exact", fused=False, **pkw):
+        from repro.check.oracle import summarize_reds
+        oracle = make_oracle(oracle_ops)
+        pol = policy(multiset=mode, **pkw)
+        return compare_multisets("w", "a", oracle, sim_ops, pol, fused,
+                                 summarize_reds(oracle_ops))
+
+    def test_identical_streams_match(self):
+        ops = [add_f32(0, 1.5), add_f32(1, -2.0)]
+        assert not self.run(ops, list(ops))
+
+    def test_skip_mode_compares_nothing(self):
+        assert not self.run([add_f32(0, 1.0)], [], mode="skip")
+
+    def test_missing_commits_flagged(self):
+        out = self.run([add_f32(0, 1.0)], [])
+        assert len(out) == 1 and "missing" in out[0].detail
+
+    def test_foreign_address_flagged(self):
+        out = self.run([], [add_f32(2, 9.0)])
+        assert len(out) == 1
+        assert "never touched" in out[0].detail
+        assert out[0].addr == BASE + 8
+
+    def test_corrupt_operand_exact_mode(self):
+        out = self.run([add_f32(0, 1.0)], [add_f32(0, 1.0000001)])
+        assert len(out) == 1 and "operand multiset" in out[0].detail
+
+    def test_fused_count_may_shrink_but_sum_holds(self):
+        ops = [add_f32(0, 1.0), add_f32(0, 2.0), add_f32(0, 3.0)]
+        fused_ops = [add_f32(0, 6.0)]
+        assert not self.run(ops, fused_ops, fused=True)
+
+    def test_fused_zero_commits_is_out_of_range(self):
+        out = self.run([add_f32(0, 1.0)], [], fused=True)
+        assert out and "missing" in out[0].detail
+
+    def test_fused_duplicate_commits_out_of_range(self):
+        ops = [add_f32(0, 1.0)]
+        out = self.run(ops, [add_f32(0, 0.5), add_f32(0, 0.5)], fused=True)
+        assert any("out of range" in m.detail for m in out)
+
+    def test_integer_sum_exact_under_fusion(self):
+        ops = [add_s32(0, 5), add_s32(0, 7)]
+        assert not self.run(ops, [add_s32(0, 12)], fused=True)
+        out = self.run(ops, [add_s32(0, 11)], fused=True)
+        assert any("integer sum differs" in m.detail for m in out)
+
+    def test_extremum_exact_under_fusion(self):
+        ops = [AtomicOp(BASE, "max.s32", (3,)), AtomicOp(BASE, "max.s32", (9,))]
+        assert not self.run(ops, [AtomicOp(BASE, "max.s32", (9,))], fused=True)
+        out = self.run(ops, [AtomicOp(BASE, "max.s32", (8,))], fused=True)
+        assert any("extremum differs" in m.detail for m in out)
+
+    def test_f32_sum_outside_bound_flagged(self):
+        ops = [add_f32(0, 1.0), add_f32(0, 2.0)]
+        out = self.run(ops, [add_f32(0, 4.0)], fused=True)
+        assert any("fp32 operand sum" in m.detail for m in out)
+
+    def test_float_mode_ignores_minmax_counts(self):
+        # Convergence-flag max ops commit an interleaving-dependent
+        # number of times; float mode must not compare them.
+        ops = [AtomicOp(BASE, "max.s32", (1,))] * 3
+        assert not self.run(ops, [AtomicOp(BASE, "max.s32", (1,))],
+                            mode="float")
+
+    def test_float_mode_counts_adds(self):
+        ops = [add_f32(0, 1.0), add_f32(0, 2.0)]
+        out = self.run(ops, [add_f32(0, 3.0)], mode="float")
+        assert any("commit count differs" in m.detail for m in out)
+
+
+class TestFirstDivergentCommit:
+    def events(self, *commits):
+        return [(cycle, "commit", "apply",
+                 {"addr": addr, "op": op, "args": list(args)})
+                for cycle, addr, op, args in commits]
+
+    def test_clean_stream_has_no_divergence(self):
+        ops = [add_f32(0, 1.5)]
+        oracle = make_oracle(ops)
+        ev = self.events((100, BASE, "add.f32", (1.5,)))
+        assert first_divergent_commit(oracle, ev, {}) is None
+
+    def test_corrupt_value_attributed_to_cycle(self):
+        oracle = make_oracle([add_f32(0, 1.5)])
+        ev = self.events((100, BASE, "add.f32", (1.5,)),
+                         (250, BASE, "add.f32", (9.9,)))
+        assert first_divergent_commit(oracle, ev, {}) == 250
+
+    def test_pure_drop_yields_none(self):
+        oracle = make_oracle([add_f32(0, 1.5), add_f32(1, 2.5)])
+        ev = self.events((100, BASE, "add.f32", (1.5,)))
+        assert first_divergent_commit(oracle, ev, {}) is None
+
+    def test_non_reduction_commits_ignored(self):
+        oracle = make_oracle([])
+        ev = self.events((50, BASE, "exch.s32", (1,)))
+        assert first_divergent_commit(oracle, ev, {}) is None
+
+
+class TestHelpers:
+    def test_operand_bits_distinguishes_signed_zero(self):
+        assert operand_bits(0.0) != operand_bits(-0.0)
+        assert operand_bits(3) == ("i", 3)
+
+    def test_effective_fused_only_for_fusing_dab(self):
+        pol = policy()
+        by_label = {a.label: a for a in diff_archs()}
+        assert not effective_fused(pol, ArchSpec.baseline())
+        assert not effective_fused(pol, by_label["GPUDet"])
+        assert effective_fused(pol, by_label["DAB-GWAT-64-AF-Coal"])

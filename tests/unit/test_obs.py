@@ -173,5 +173,5 @@ class TestObservabilityHub:
     def test_categories_cover_emitters(self):
         assert set(CATEGORIES) == {
             "buffer", "sched", "flush", "partition", "dispatch", "kernel",
-            "fault",
+            "fault", "commit", "access",
         }

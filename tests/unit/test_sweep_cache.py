@@ -130,3 +130,47 @@ class TestCanonical:
     def test_uncanonicalizable_rejected(self):
         with pytest.raises(TypeError):
             sweep._plain(object())
+
+
+class TestMetricsSchemaVersioning:
+    """Version gate on SimResult.from_metrics_dict (repro.metrics/v2).
+
+    v1 readers historically dropped the sweep provenance flags
+    (``cache_hit`` / ``journal_hit``) on reconstruction; v2 documents
+    round-trip them, v1 documents keep the old drop semantics, and
+    unknown schemas refuse to parse rather than silently misread.
+    """
+
+    def _result_with_provenance(self):
+        res = run_workload(WorkloadRef("atomic_sum", (64,)),
+                           ArchSpec.baseline(), gpu_config=GPUConfig.tiny())
+        res.extra["cache_hit"] = True
+        res.extra["journal_hit"] = True
+        return res
+
+    def test_v2_round_trips_provenance_flags(self):
+        doc = self._result_with_provenance().metrics_dict()
+        assert doc["schema"] == "repro.metrics/v2"
+        back = SimResult.from_metrics_dict(doc)
+        assert back.extra["cache_hit"] is True
+        assert back.extra["journal_hit"] is True
+
+    def test_v1_document_drops_provenance_flags(self):
+        doc = self._result_with_provenance().metrics_dict()
+        doc["schema"] = "repro.metrics/v1"
+        back = SimResult.from_metrics_dict(doc)
+        assert "cache_hit" not in back.extra
+        assert "journal_hit" not in back.extra
+        assert back.extra["output_digest"]  # the rest still round-trips
+
+    def test_unversioned_document_treated_as_v1(self):
+        doc = self._result_with_provenance().metrics_dict()
+        del doc["schema"]
+        back = SimResult.from_metrics_dict(doc)
+        assert "cache_hit" not in back.extra
+
+    def test_unknown_schema_raises(self):
+        doc = self._result_with_provenance().metrics_dict()
+        doc["schema"] = "repro.metrics/v99"
+        with pytest.raises(ValueError, match="unsupported metrics schema"):
+            SimResult.from_metrics_dict(doc)
