@@ -105,6 +105,9 @@ class Instr:
     alu_dtype: Optional[str] = field(init=False, repr=False, compare=False,
                                      default=None)
     op_suffix: str = field(init=False, repr=False, compare=False, default="")
+    #: precomputed ``is_atomic`` — read per status snapshot by the
+    #: determinism-aware schedulers, so it must be a plain attribute.
+    atomic: bool = field(init=False, repr=False, compare=False, default=False)
 
     def __post_init__(self) -> None:
         parts = tuple(self.opcode.split("."))
@@ -114,11 +117,12 @@ class Instr:
         if parts[-1] in ("s32", "u32", "b32", "f32", "s64", "pred"):
             self.alu_dtype = parts[-1]
         self.op_suffix = ".".join(parts[2:])
+        self.atomic = self.op_class in (OpClass.MEM_RED, OpClass.MEM_ATOM)
 
     @property
     def is_atomic(self) -> bool:
         """True for atomics in the paper's sense (``red`` and ``atom``)."""
-        return self.op_class in (OpClass.MEM_RED, OpClass.MEM_ATOM)
+        return self.atomic
 
     @property
     def is_reduction(self) -> bool:

@@ -163,10 +163,43 @@ class Warp:
             return None
         return self.program.instrs[self.stack.pc]
 
+    def issue_ready(self, now: int) -> bool:
+        """Could this warp issue *something* at cycle ``now``?
+
+        The cheap timing predicate shared by the polling precheck, the
+        event-driven ready-set maintenance and the schedulers' status
+        snapshots: past its latency window, not at a barrier/fence, and
+        no outstanding loads or returning atomics.  (Architecture gates
+        — GPUDet quanta, DAB atomic gates — are layered on top by the
+        SM; they are not a property of the warp.)
+        """
+        return (
+            self.ready_cycle <= now
+            and not self.at_barrier
+            and self.outstanding_loads == 0
+            and self.outstanding_atoms == 0
+        )
+
+    def wake_candidate(self) -> Optional[int]:
+        """The cycle this warp becomes issuable on its own, or ``None``.
+
+        ``None`` when the warp cannot wake by time alone — it is done,
+        at a barrier, or waiting on a memory event (which notifies the
+        issue engine directly when it lands).
+        """
+        if self.at_barrier or self.outstanding_loads or self.outstanding_atoms:
+            return None
+        if self.exited or self.stack.done:
+            return None
+        return self.ready_cycle
+
     def next_is_atomic(self) -> bool:
         """Used by determinism-aware schedulers (GTRR/GTAR/GWAT)."""
-        ins = self.peek()
-        return ins is not None and ins.is_atomic
+        # Inlined peek(): this runs once per live slot per status
+        # snapshot, the hottest read in the issue path.
+        if self.exited or self.stack.done:
+            return False
+        return self.program.instrs[self.stack.pc].atomic
 
     def next_red_lane_count(self) -> int:
         """How many buffer entries the next ``red`` would need (no fusion)."""

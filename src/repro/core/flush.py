@@ -108,10 +108,12 @@ class FlushController:
     def request_fence_flush(self) -> None:
         """A warp executed ``membar``/``bar.sync``: flush before release."""
         self._fence_requested = True
+        self.gpu._flush_dirty = True
 
     def request_drain_flush(self) -> None:
         """Kernel drained with non-empty buffers."""
         self._drain_requested = True
+        self.gpu._flush_dirty = True
 
     # ------------------------------------------------------------------
     def maybe_trigger(self, now: int, quiesced: bool = False) -> bool:
@@ -202,6 +204,8 @@ class FlushController:
         self.stats.flushes += 1
         seq = self.stats.flushes
         self.phase = FlushPhase.ACTIVE
+        # Warp-level buffer drains can free hardware slots mid-kernel.
+        gpu._dispatch_dirty = True
 
         # 1. Drain buffers into per-SM deterministic transaction streams.
         streams: Dict[int, List[FlushTransaction]] = {}
@@ -368,4 +372,7 @@ class FlushController:
                              cycle_done=now, entries=state["entries"])
         if not self._active:
             self.phase = FlushPhase.IDLE
+        # A completed flush can unblock the next trigger (pending fence
+        # or drain request, sticky full bits set while we were active).
+        self.gpu._flush_dirty = True
         self.gpu.on_flush_complete(now, state["fence_release"], state["started"])

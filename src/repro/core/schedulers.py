@@ -56,9 +56,15 @@ STALL_GATE_BATCH = "batch"       # atomic blocked: CTA batch ordering
 
 @dataclass
 class WarpStatus:
-    """One slot's issue-readiness snapshot for this cycle."""
+    """One slot's issue-readiness snapshot for this cycle.
 
-    warp: Warp
+    The SM reuses one record per hardware slot across cycles (rewriting
+    the fields in place) rather than allocating a fresh snapshot per
+    warp per cycle; policies must therefore not retain references across
+    ``select`` calls (they keep warp uids / slot indices instead).
+    """
+
+    warp: Optional[Warp]
     ready: bool              # can issue *something* this cycle (latency, mem)
     at_barrier: bool
     next_atomic: bool        # next instruction is red/atom
@@ -67,7 +73,14 @@ class WarpStatus:
 
     @property
     def live(self) -> bool:
-        return not self.warp.done
+        return self.warp is not None and not self.warp.done
+
+
+#: Shared snapshot for finished warps.  Every policy treats done warps
+#: as non-candidates (filtered on ``live``), so the per-warp fields a
+#: populated status used to carry were dead — one immutable sentinel
+#: with ``warp=None`` serves every slot.
+DONE_STATUS = WarpStatus(None, ready=False, at_barrier=False, next_atomic=False)
 
 
 class SchedulerPolicy:

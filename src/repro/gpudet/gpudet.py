@@ -123,11 +123,13 @@ class GPUDetController:
         if warp.next_is_atomic():
             # Atomics may not execute in parallel mode: end the quantum.
             self._reason[warp.uid] = "atomic"
+            self.gpu._gpudet_dirty = True  # tick() reads the reasons
             return False
         return True
 
     def after_step(self, now: int, warp: Warp, result) -> None:
         self._state_for(warp)
+        self.gpu._gpudet_dirty = True  # any step can end the quantum
         self._quantum_used[warp.uid] += 1
         if result.exited:
             self._reason[warp.uid] = "exit"
@@ -142,27 +144,45 @@ class GPUDetController:
     def tick(self, now: int) -> bool:
         if self.mode != PARALLEL:
             return False
-        live = [w for sm in self.gpu.sms for w in sm.live_warps()]
-        if not live:
+        # Lazy scan with early-out: most calls find a warp mid-quantum
+        # (reason still None) within the first few slots, so building
+        # the full live-warp list up front is wasted work on the hot
+        # path.  Iteration order matches the old list build (SM order,
+        # scheduler order, slot order), so the _state_for lazy-init
+        # side effects land identically.
+        any_live = False
+        barrier_blocked = False
+        for sm in self.gpu.sms:
+            if not sm.live_count:
+                continue  # every placed warp has exited
+            for table in sm.sched_slots:
+                for w in table:
+                    if w is None or w.done:
+                        continue
+                    any_live = True
+                    self._state_for(w)
+                    if w.at_barrier:
+                        # Its quantum ended with 'barrier', but its
+                        # in-flight memory still blocks the commit.
+                        if w.outstanding_loads or w.outstanding_atoms:
+                            barrier_blocked = True
+                        continue
+                    if self._reason[w.uid] is None:
+                        return False
+                    if w.outstanding_loads or w.outstanding_atoms:
+                        return False
+        if not any_live:
             # Kernel drain: final commit of any leftover stores.
             if any(not sb.empty for sb in self._store_buffers.values()):
-                self._enter_commit(now, live)
+                self._enter_commit(now)
                 return True
             return False
-        for w in live:
-            self._state_for(w)
-            if w.at_barrier:
-                continue  # its quantum ended with 'barrier'
-            if self._reason[w.uid] is None:
-                return False
-            if w.outstanding_loads or w.outstanding_atoms:
-                return False
-        if any(w.outstanding_loads or w.outstanding_atoms for w in live):
+        if barrier_blocked:
             return False
-        self._enter_commit(now, live)
+        self._enter_commit(now)
         return True
 
-    def _enter_commit(self, now: int, live: List[Warp]) -> None:
+    def _enter_commit(self, now: int) -> None:
         self.mode_cycles[PARALLEL] += now - self._mode_started
         self.mode = COMMIT
         self._mode_started = now
@@ -189,6 +209,8 @@ class GPUDetController:
         self.mode = SERIAL
         self._mode_started = now
         self.gpu._wake_dirty = True  # serial steps advance warp state
+        self.gpu._gpudet_dirty = True
+        self.gpu._touch_all_sms()  # serial warps step on any SM
         t = now
 
         # Serial mode: warps stopped at an atomic run it one warp at a
@@ -234,6 +256,8 @@ class GPUDetController:
         self.mode = PARALLEL
         self._mode_started = now
         self.gpu._wake_dirty = True  # barrier releases + ready bumps below
+        self.gpu._gpudet_dirty = True  # new quantum may end immediately
+        self.gpu._touch_all_sms()  # releases + ready bumps on every SM
         # New quantum: reset budgets and reasons; release arrived barriers
         # (their stores are now committed and visible).
         for uid in self._quantum_used:

@@ -113,6 +113,30 @@ class Histogram:
         if self.max is None or v > self.max:
             self.max = v
 
+    def observe_bulk(self, v: Number, n: int) -> None:
+        """Record ``n`` identical observations of ``v`` in one call.
+
+        Equivalent to ``n`` :meth:`observe` calls; lets event-driven
+        producers (e.g. the fastpath issue engine closing an N-epoch
+        stall window) book a whole skipped range without an O(N) loop.
+        """
+        if n <= 0:
+            return
+        lo, hi = 0, len(self.edges)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if v <= self.edges[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += n
+        self.count += n
+        self.sum += v * n
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+
     def as_value(self):
         return {
             "edges": list(self.edges),

@@ -18,6 +18,7 @@ other's results exactly as on a real GPU.
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Callable, Dict, List, Optional
 
 from repro.arch.kernel import CTA, Kernel
@@ -205,6 +206,26 @@ class GPU:
         self.pending_store_acks = 0
         self.last_atomic_done = 0
 
+        # Event-driven issue engine (the default).  REPRO_NO_FASTPATH=1
+        # selects the original poll-every-cycle loop, kept verbatim as
+        # the differential reference; both engines must produce
+        # byte-identical metrics, traces, and digests.
+        self.fastpath = os.environ.get("REPRO_NO_FASTPATH", "") in ("", "0")
+        #: issue-phase executions (== polling-loop iterations).  The
+        #: unit of bulk stall accounting: one stall record per stalled
+        #: scheduler per epoch, exactly like the polling loop.
+        self.epochs = 0
+        # Dirty flags gating the polled subsystems in _run_fast.  Every
+        # mutation that could change the subsystem's answer must set the
+        # flag (over-approximating is safe: the poll loop runs them
+        # every iteration and they are no-ops on unchanged state).
+        self._dispatch_dirty = True
+        self._flush_dirty = True
+        self._gpudet_dirty = True
+        #: baseline barrier/fence releases are polled inside issue_cycle
+        #: only when neither DAB nor GPUDet owns release timing.
+        self._poll_releases = dab is None and self.gpudet is None
+
     # ------------------------------------------------------------------
     # Plumbing used by SMs and controllers.
     # ------------------------------------------------------------------
@@ -245,6 +266,11 @@ class GPU:
         if warp.outstanding_loads == 0:
             warp.ready_cycle = max(warp.ready_cycle, now + 1)
         self._wake_dirty = True
+        sm = self.sms[warp.sm_id]
+        sm._touch(warp.scheduler_id)
+        if self._poll_releases:
+            sm._release_dirty = True
+        self._gpudet_dirty = True
 
     # -- stores ---------------------------------------------------------------
     def send_store(self, now: int, sm: SM, warp: Warp, sector: int) -> None:
@@ -263,6 +289,9 @@ class GPU:
     def _store_ack(self, now: int, warp: Warp) -> None:
         warp.outstanding_stores -= 1
         self.pending_store_acks -= 1
+        if self._poll_releases:
+            # Baseline fences/barriers wait on outstanding stores.
+            self.sms[warp.sm_id]._release_dirty = True
 
     # -- baseline (non-deterministic) atomics ----------------------------------
     def issue_baseline_red(self, now: int, sm: SM, warp: Warp, spec: MemRequestSpec) -> None:
@@ -332,6 +361,11 @@ class GPU:
         if warp.outstanding_atoms == 0:
             warp.ready_cycle = max(warp.ready_cycle, now + 1)
         self._wake_dirty = True
+        sm = self.sms[warp.sm_id]
+        sm._touch(warp.scheduler_id)
+        if self._poll_releases:
+            sm._release_dirty = True
+        self._gpudet_dirty = True
 
     # -- notifications ------------------------------------------------------------
     def on_cta_done(self, now: int, cta: CTA) -> None:
@@ -360,6 +394,10 @@ class GPU:
         self._current = self._queue.pop(0)
         self._ctas_done = 0
         self._wake_dirty = True
+        self._dispatch_dirty = True
+        self._flush_dirty = True
+        self._gpudet_dirty = True
+        self._touch_all_sms()
         self.dispatcher.begin_kernel(self._current)
         if self.gpudet is not None:
             self.gpudet.begin_kernel(self._current)
@@ -424,6 +462,17 @@ class GPU:
     # Main loop.
     # ------------------------------------------------------------------
     def run(self, max_cycles: Optional[int] = None) -> SimResult:
+        if self.fastpath:
+            return self._run_fast(max_cycles)
+        return self._run_poll(max_cycles)
+
+    def _run_poll(self, max_cycles: Optional[int] = None) -> SimResult:
+        """The original poll-every-cycle loop (``REPRO_NO_FASTPATH=1``).
+
+        Kept verbatim as the differential reference for the event-driven
+        engine below; the only addition is the ``epochs`` counter, which
+        both engines advance identically (once per issue phase).
+        """
         limit = self.max_cycles if max_cycles is None else max_cycles
         obs = self.obs
         prof = obs.profiler if obs is not None else None
@@ -462,6 +511,7 @@ class GPU:
 
             if prof is not None:
                 t0 = prof.start()
+            self.epochs += 1
             issued = 0
             for sm in self.sms:
                 # An SM with no live warps cannot issue, stall-account,
@@ -551,6 +601,177 @@ class GPU:
                     if w.ready_cycle > self.cycle:
                         if best is None or w.ready_cycle < best:
                             best = w.ready_cycle
+        self._wake_value = best
+        self._wake_dirty = False
+        return best
+
+    # ------------------------------------------------------------------
+    # Event-driven issue engine (fastpath).
+    # ------------------------------------------------------------------
+    def _run_fast(self, max_cycles: Optional[int] = None) -> SimResult:
+        """Event-driven counterpart of :meth:`_run_poll` (the default).
+
+        Same iteration structure, but the issue phase visits only SMs
+        whose scheduler calendars say something can happen (a dirty
+        scheduler or a due wake time), and the polled subsystems
+        (dispatcher, flush controller, GPUDet tick) run only when a
+        dirty flag says their answer may have changed.  Calendar
+        invariant (DESIGN §12): every site that mutates a warp's
+        ready_cycle / done / at_barrier / outstanding counters must
+        ``_touch()`` that warp's scheduler, and every mutation a polled
+        subsystem reads must set its dirty flag.  Skipped calls are
+        no-ops on unchanged state, so both engines execute the same
+        state transitions at the same (cycle, epoch) points and produce
+        byte-identical metrics, traces, and digests.
+        """
+        limit = self.max_cycles if max_cycles is None else max_cycles
+        obs = self.obs
+        prof = obs.profiler if obs is not None else None
+        run_t0 = prof.start() if prof is not None else 0.0
+        sms = self.sms
+        while True:
+            if self.cycle > limit:
+                raise SimulationError(f"exceeded {limit} cycles")
+            progressed = False
+            if obs is not None:
+                obs.cycle = self.cycle
+            if self.inv is not None:
+                self.inv.cycle = self.cycle
+
+            if prof is not None:
+                t0 = prof.start()
+            while self._heap and self._heap[0][0] <= self.cycle:
+                _t, _s, fn, args = heapq.heappop(self._heap)
+                fn(self.cycle, args)
+                progressed = True
+            if prof is not None:
+                prof.stop("event_heap", t0)
+
+            if self._current is None:
+                if not self._queue:
+                    break
+                self._start_next_kernel()
+                progressed = True
+
+            if prof is not None:
+                t0 = prof.start()
+            if self._dispatch_dirty:
+                self._dispatch_dirty = False
+                if self.dispatcher.place(self.cycle):
+                    progressed = True
+                    self._wake_dirty = True
+            if prof is not None:
+                prof.stop("dispatch", t0)
+
+            if prof is not None:
+                t0 = prof.start()
+            self.epochs += 1
+            epoch = self.epochs
+            cycle = self.cycle
+            issued = 0
+            for sm in sms:
+                if sm.live_count and sm.needs_visit(cycle):
+                    issued += sm.issue_cycle_fast(cycle, epoch)
+            if issued:
+                progressed = True
+                self._wake_dirty = True
+            if prof is not None:
+                prof.stop("issue", t0)
+
+            if prof is not None:
+                t0 = prof.start()
+            if self.gpudet is not None and self._gpudet_dirty:
+                self._gpudet_dirty = False
+                if self.gpudet.tick(self.cycle):
+                    progressed = True
+                    self._wake_dirty = True
+            if self.flush is not None and self._flush_dirty:
+                self._flush_dirty = False
+                if self.flush.maybe_trigger(self.cycle):
+                    progressed = True
+                    self._wake_dirty = True
+            if prof is not None:
+                prof.stop("flush", t0)
+
+            if self._kernel_complete():
+                self._finish_kernel()
+                continue
+
+            if issued:
+                self.cycle += 1
+                continue
+
+            # Nothing issued: fast-forward to the next interesting time.
+            next_time = self._heap[0][0] if self._heap else None
+            wake = self._earliest_warp_wake_fast()
+            candidates = [t for t in (next_time, wake) if t is not None]
+            if self._current is not None and self.cycle < self.last_atomic_done:
+                # Waiting for the ROP to drain fire-and-forget atomics.
+                candidates.append(self.last_atomic_done)
+            if candidates:
+                self.cycle = max(self.cycle + 1, min(candidates))
+                continue
+
+            # Fully quiesced: last-resort flush trigger, then deadlock.
+            # Bypasses the dirty gate: the polling loop always makes
+            # this call, and it is the only time-(not state-)driven one.
+            if progressed:
+                self.cycle += 1
+                continue
+            if self.flush is not None and self.flush.maybe_trigger(
+                self.cycle, quiesced=True
+            ):
+                continue
+            if self.inv is not None:
+                self.inv.explain_deadlock(self.cycle, self.flush)
+            raise SimulationError(
+                f"deadlock at cycle {self.cycle}: no events, no issuable warps "
+                f"(kernel={self._current.name if self._current else None})"
+            )
+
+        # Book any still-open stall windows through the final epoch
+        # (defensive backstop; see SM.settle_stall_windows).
+        for sm in sms:
+            sm.settle_stall_windows(self.epochs + 1)
+        if prof is not None:
+            prof.stop("run_total", run_t0)
+        return self._collect_result()
+
+    def _touch_all_sms(self) -> None:
+        """Dirty every scheduler calendar (broadcast state change)."""
+        for sm in self.sms:
+            sm.touch_all()
+
+    def _earliest_warp_wake_fast(self) -> Optional[int]:
+        # Fastpath replacement for _earliest_warp_wake: per-scheduler
+        # wake memos were refreshed when each stall window opened (and
+        # are always in the future relative to that examination); dirty
+        # schedulers fall back to an O(slots) rescan with the identical
+        # "ready_cycle > cycle, not at barrier, nothing outstanding"
+        # filter.  The GPU-level memo (same contract as
+        # _earliest_warp_wake) skips even the per-scheduler sweep while
+        # nothing mutated warp wake state.
+        c = self.cycle
+        if not self._wake_dirty:
+            cached = self._wake_value
+            if cached is None or cached > c:
+                return cached
+        best: Optional[int] = None
+        for sm in self.sms:
+            if not sm.live_count:
+                continue
+            dirty = sm._sched_dirty
+            wakes = sm._sched_wake
+            for s in range(sm.num_schedulers):
+                if dirty[s]:
+                    w = sm._sched_wake_scan(s, c)
+                else:
+                    w = wakes[s]
+                    if w is not None and w <= c:
+                        # Defensive: a clean memo must be in the future.
+                        w = sm._sched_wake_scan(s, c)
+                if w is not None and (best is None or w < best):
+                    best = w
         self._wake_value = best
         self._wake_dirty = False
         return best
@@ -652,6 +873,9 @@ class GPU:
         cumulative value.
         """
         m = self.obs.metrics
+        # Cross-checked by the fastpath differential tests: both engines
+        # must execute the same number of issue-phase epochs.
+        m.gauge("gpu.run.epochs").set(self.epochs)
         for sm in self.sms:
             prefix = f"sm.{sm.sm_id}"
             for i, buf in enumerate(sm.buffers):

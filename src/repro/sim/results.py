@@ -77,6 +77,28 @@ class StallBreakdown:
             )
         self.other += 1
 
+    def record_bulk(self, reason: str, count: int) -> None:
+        """Book ``count`` stalled scheduler-cycles of one reason at once.
+
+        The event-driven issue engine skips a scheduler while none of
+        its warps can issue; when the stall window closes, the whole
+        window is accounted here in one call.  Equivalent by definition
+        to ``count`` individual :meth:`record` calls (the per-cycle
+        accounting the polling loop performs), which the unit tests pin
+        down — the Fig 15 breakdown must not depend on the engine.
+        """
+        if count <= 0:
+            return
+        if reason in self._FIELDS:
+            setattr(self, reason, getattr(self, reason) + count)
+            return
+        if strict_stalls():
+            raise ValueError(
+                f"unknown stall reason {reason!r}; add a StallBreakdown "
+                f"bucket for it (known: {', '.join(self._FIELDS)})"
+            )
+        self.other += count
+
     def merge(self, other: "StallBreakdown") -> None:
         for f in self._FIELDS:
             setattr(self, f, getattr(self, f) + getattr(other, f))

@@ -26,6 +26,7 @@ from repro.arch.warp import Warp
 from repro.core.atomic_buffer import AtomicBuffer, FlushTransaction
 from repro.core.dab import BufferLevel, DABConfig
 from repro.core.schedulers import (
+    DONE_STATUS,
     STALL_GATE_BATCH,
     STALL_GATE_BUFFER,
     STALL_GATE_FLUSH,
@@ -103,6 +104,39 @@ class SM:
         #: skips issue_cycle entirely while this is 0 (idle-SM skip).
         self.live_count = 0
 
+        # Event-driven issue engine (GPU._run_fast) per-scheduler state.
+        # A scheduler is *examined* during an issue phase only when its
+        # dirty bit is set (some warp-state mutation touched it) or its
+        # wake time has arrived; in between, it sits in a frozen stall
+        # window whose per-epoch records are booked in bulk at the next
+        # examination.  Invariant (DESIGN §12): every site that mutates
+        # a warp's ready_cycle / done / at_barrier / outstanding
+        # counters must _touch() that warp's scheduler.
+        ns = self.num_schedulers
+        self._sched_dirty = [True] * ns
+        #: min ready_cycle among eligible warps, valid while clean;
+        #: None = no time-driven wake (idle, or event-blocked warps).
+        self._sched_wake: List[Optional[int]] = [None] * ns
+        #: open stall window: frozen reason (None = idle, books nothing)
+        #: and the first epoch the window covers.
+        self._acct_reason: List[Optional[str]] = [None] * ns
+        self._acct_epoch = [0] * ns
+        self._any_dirty = True
+        #: baseline-only: a barrier/fence/outstanding transition since
+        #: the last _check_baseline_releases poll.
+        self._release_dirty = True
+        #: reusable per-slot status records + per-scheduler status list,
+        #: rewritten in place for examined schedulers (no per-cycle
+        #: allocation); policies do not retain them across select calls.
+        self._status_rows: List[List[WarpStatus]] = [
+            [WarpStatus(None, False, False, False)
+             for _ in range(self.slots_per_scheduler)]
+            for _ in range(ns)
+        ]
+        self._status_lists: List[List[Optional[WarpStatus]]] = [
+            [None] * self.slots_per_scheduler for _ in range(ns)
+        ]
+
     # ------------------------------------------------------------------
     # Kernel / CTA management.
     # ------------------------------------------------------------------
@@ -175,6 +209,7 @@ class SM:
             self.sched_slots[sched][local] = warp
             self.schedulers[sched].notify_warp_added(self.sched_slots[sched], local)
             self.live_count += 1
+            self._touch(sched)
         self.gpu._wake_dirty = True
         self.ctas_placed += 1
         self.cta_records.append(cta)
@@ -253,6 +288,183 @@ class SM:
         return stream
 
     # ------------------------------------------------------------------
+    # Event-driven issue engine (fastpath) plumbing.
+    # ------------------------------------------------------------------
+    def _touch(self, sched: int) -> None:
+        """A warp-state mutation invalidated this scheduler's memos."""
+        self._sched_dirty[sched] = True
+        self._any_dirty = True
+
+    def touch_all(self) -> None:
+        dirty = self._sched_dirty
+        for s in range(self.num_schedulers):
+            dirty[s] = True
+        self._any_dirty = True
+
+    def needs_visit(self, now: int) -> bool:
+        """Must this SM run an issue phase at cycle ``now``?"""
+        if self._any_dirty or self._release_dirty:
+            return True
+        for w in self._sched_wake:
+            if w is not None and w <= now:
+                return True
+        return False
+
+    def _sched_wake_scan(self, sched: int, now: int) -> Optional[int]:
+        """Min future wake among this scheduler's eligible warps.
+
+        The per-scheduler slice of GPU._earliest_warp_wake: used when
+        the scheduler's wake memo is stale (dirty).
+        """
+        best: Optional[int] = None
+        for w in self.sched_slots[sched]:
+            if w is None:
+                continue
+            rc = w.wake_candidate()
+            if rc is not None and rc > now and (best is None or rc < best):
+                best = rc
+        return best
+
+    def settle_stall_windows(self, epoch_end: int) -> None:
+        """Book every open stall window through ``epoch_end - 1``.
+
+        Called at the end of GPU._run_fast.  Normally a no-op: a warp
+        only becomes done by issuing EXIT through its scheduler, which
+        forces an examination that settles the window, so by kernel
+        drain every window is idle.  Kept as a defensive backstop so an
+        unsettled window can never silently drop stall records.
+        """
+        for s in range(self.num_schedulers):
+            reason = self._acct_reason[s]
+            if reason is not None:
+                owed = epoch_end - self._acct_epoch[s]
+                if owed > 0:
+                    self.stalls.record_bulk(reason, owed)
+                self._acct_reason[s] = None
+                self._sched_dirty[s] = True
+                self._any_dirty = True
+
+    def _fast_statuses(self, sched: int, table, now: int):
+        """Per-slot status snapshots, rewritten into reusable records.
+
+        Must mirror :meth:`_status` exactly — the polling engine's
+        per-warp snapshot is the behavioural reference.
+        """
+        rows = self._status_rows[sched]
+        out = self._status_lists[sched]
+        gpudet = self.gpu.gpudet
+        for i, w in enumerate(table):
+            if w is None:
+                out[i] = None
+                continue
+            if w.done:
+                out[i] = DONE_STATUS
+                continue
+            ready = (
+                w.ready_cycle <= now
+                and w.outstanding_loads == 0
+                and w.outstanding_atoms == 0
+            )
+            if ready and gpudet is not None:
+                ready = gpudet.can_issue(w)
+            next_atomic = w.next_is_atomic()
+            gate_ok = True
+            gate_reason = ""
+            if next_atomic and self.dab is not None and not w.at_barrier:
+                gate_ok, gate_reason = self._atomic_gate(w)
+            r = rows[i]
+            r.warp = w
+            r.ready = ready
+            r.at_barrier = w.at_barrier
+            r.next_atomic = next_atomic
+            r.gate_ok = gate_ok
+            r.gate_reason = gate_reason
+            out[i] = r
+        return out
+
+    def issue_cycle_fast(self, now: int, epoch: int) -> int:
+        """Event-driven counterpart of :meth:`issue_cycle`.
+
+        Observably identical to the polling version: the same warps
+        issue at the same cycles, policies see the same select calls,
+        gate side effects fire at the same epochs, and the per-epoch
+        stall records the polling loop books while a scheduler cannot
+        issue are reproduced in bulk when its window closes.
+        """
+        if self._release_dirty:
+            self._release_dirty = False
+            self._check_baseline_releases(now)
+        issued = 0
+        dirty = self._sched_dirty
+        wakes = self._sched_wake
+        for s, sched in enumerate(self.schedulers):
+            if not dirty[s]:
+                wake = wakes[s]
+                if wake is None or wake > now:
+                    continue  # frozen stall/idle window; booked later
+            # Close the open window: the polling loop booked one stall
+            # per epoch under the frozen reason while we skipped.
+            reason = self._acct_reason[s]
+            if reason is not None:
+                owed = epoch - self._acct_epoch[s]
+                if owed > 0:
+                    self.stalls.record_bulk(reason, owed)
+                self._acct_reason[s] = None
+            dirty[s] = False
+
+            table = self.sched_slots[s]
+            any_live = False
+            any_ready = False
+            all_barrier = True
+            wake = None
+            for w in table:
+                if w is None or w.done:
+                    continue
+                any_live = True
+                if not w.at_barrier:
+                    all_barrier = False
+                    if w.issue_ready(now):
+                        any_ready = True
+                        break
+                    if (
+                        w.outstanding_loads == 0
+                        and w.outstanding_atoms == 0
+                        and (wake is None or w.ready_cycle < wake)
+                    ):
+                        wake = w.ready_cycle
+            if not any_live:
+                wakes[s] = None
+                continue  # idle scheduler: not counted as a stall slot
+            if not any_ready:
+                self._acct_reason[s] = "barrier" if all_barrier else "mem"
+                self._acct_epoch[s] = epoch
+                wakes[s] = wake
+                continue
+
+            # A warp is timing-ready: run the full select machinery and
+            # stay dirty — select calls mutate policy state and gate
+            # evaluation has side effects (sticky full bits, GPUDet
+            # quantum ends), so they must happen at every epoch the
+            # polling loop would run them.
+            dirty[s] = True
+            statuses = self._fast_statuses(s, table, now)
+            warp, reason = sched.select(now, statuses)
+            blocked = getattr(sched, "gate_blocked_warp", None)
+            if blocked is not None:
+                sched.gate_blocked_warp = None
+                if self.dab is not None and not self._warp_level:
+                    buf = self.buffer_for(blocked)
+                    if not buf.full:
+                        buf.mark_full()
+                        self.gpu._flush_dirty = True
+            self.stalls.record(None if warp is not None else reason)
+            if warp is not None:
+                self._issue(now, warp)
+                issued += 1
+        self._any_dirty = True in dirty
+        return issued
+
+    # ------------------------------------------------------------------
     # Issue.
     # ------------------------------------------------------------------
     def issue_cycle(self, now: int) -> int:
@@ -301,6 +513,7 @@ class SM:
                     buf = self.buffer_for(blocked)
                     if not buf.full:
                         buf.mark_full()
+                        self.gpu._flush_dirty = True
             self.stalls.record(None if warp is not None else reason)
             if warp is not None:
                 self._issue(now, warp)
@@ -309,7 +522,7 @@ class SM:
 
     def _status(self, warp: Warp, now: int) -> Optional[WarpStatus]:
         if warp.done:
-            return WarpStatus(warp, ready=False, at_barrier=False, next_atomic=False)
+            return DONE_STATUS
         ready = (
             warp.ready_cycle <= now
             and warp.outstanding_loads == 0
@@ -358,6 +571,7 @@ class SM:
             # freeze the buffer under an already-approved insert.
             if self._warp_level and not buf.full:
                 buf.mark_full()
+                self.gpu._flush_dirty = True
             return False, STALL_GATE_BUFFER
         return True, ""
 
@@ -428,6 +642,14 @@ class SM:
     def _handle_exit(self, now: int, warp: Warp) -> None:
         warp.exited = True
         self.live_count -= 1
+        self._touch(warp.scheduler_id)
+        # An exit can free a hardware slot (dispatch), flip a buffer to
+        # flush-ready (all feeders retired), and complete a baseline
+        # barrier (all remaining warps arrived).
+        self.gpu._dispatch_dirty = True
+        self.gpu._flush_dirty = True
+        if self.gpu._poll_releases:
+            self._release_dirty = True
         cta = warp.cta
         cta.warps_exited += 1
         table = self.sched_slots[warp.scheduler_id]
@@ -455,6 +677,12 @@ class SM:
     def _handle_barrier(self, now: int, warp: Warp) -> None:
         warp.at_barrier = True
         warp.ready_cycle = now + 1
+        self._touch(warp.scheduler_id)
+        # Barrier entry can flip a buffer to flush-ready and (baseline)
+        # complete the CTA's barrier at the next release poll.
+        self.gpu._flush_dirty = True
+        if self.gpu._poll_releases:
+            self._release_dirty = True
         cta = warp.cta
         if cta not in self._barrier_ctas:
             self._barrier_ctas.append(cta)
@@ -489,6 +717,7 @@ class SM:
                 for w in warps:
                     w.at_barrier = False
                     w.ready_cycle = max(w.ready_cycle, now + 1)
+                    self._touch(w.scheduler_id)
                 self._barrier_ctas.remove(cta)
                 self._notify_releases(warps)
             else:
@@ -499,6 +728,10 @@ class SM:
         warp.at_barrier = True
         warp.fence_arrived_at = now  # type: ignore[attr-defined]
         warp.ready_cycle = now + 1
+        self._touch(warp.scheduler_id)
+        self.gpu._flush_dirty = True
+        if self.gpu._poll_releases:
+            self._release_dirty = True
         self._fence_warps.append(warp)
         table = self.sched_slots[warp.scheduler_id]
         self.schedulers[warp.scheduler_id].notify_barrier(table, warp.hw_slot)
@@ -523,6 +756,7 @@ class SM:
                     for w in warps:
                         w.at_barrier = False
                         w.ready_cycle = max(w.ready_cycle, now + 1)
+                        self._touch(w.scheduler_id)
                     done_ctas.append(cta)
                     self.gpu._wake_dirty = True
         for cta in done_ctas:
@@ -532,6 +766,7 @@ class SM:
             if w.outstanding_loads == 0 and w.outstanding_stores == 0 and w.outstanding_atoms == 0:
                 w.at_barrier = False
                 w.ready_cycle = max(w.ready_cycle, now + 1)
+                self._touch(w.scheduler_id)
                 self.gpu._wake_dirty = True
             else:
                 still.append(w)
@@ -548,6 +783,7 @@ class SM:
             for w in warps:
                 w.at_barrier = False
                 w.ready_cycle = max(w.ready_cycle, now + 1)
+                self._touch(w.scheduler_id)
             self._notify_releases(warps)
             done_ctas.append(cta)
         for cta in done_ctas:
@@ -557,6 +793,7 @@ class SM:
             if getattr(w, "fence_arrived_at", now) <= flush_started:
                 w.at_barrier = False
                 w.ready_cycle = max(w.ready_cycle, now + 1)
+                self._touch(w.scheduler_id)
                 self._notify_releases([w])
             else:
                 still.append(w)
@@ -583,6 +820,9 @@ class SM:
                     )
                 buf = self.buffer_for(warp)
                 buf.insert(spec.red_ops)
+                # A non-empty buffer can make an already-requested
+                # drain/fence flush eligible to start.
+                self.gpu._flush_dirty = True
                 warp.buffered_reds += len(spec.red_ops)
                 # Buffered atomics behave like ALU ops at issue (VI-A1).
                 warp.ready_cycle = now + self.config.alu_latency

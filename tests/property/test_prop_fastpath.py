@@ -1,0 +1,73 @@
+"""Property: engine equivalence survives arbitrary timing fault plans.
+
+The event-driven engine's calendar bookkeeping must reproduce the
+polling loop's behaviour under *any* seeded timing perturbation — not
+just the handful of hand-picked plans in the integration tests.  Random
+fault configs stress the wake-memo invalidation paths (DRAM bursts,
+interconnect spikes, delivery reorders, partition stalls all reschedule
+warp wake-ups).
+"""
+
+import os
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import GPUConfig
+from repro.core.dab import DABConfig
+from repro.faults import FaultConfig, FaultPlan
+from repro.harness.runner import ArchSpec, run_workload
+from repro.workloads.microbench import build_atomic_sum
+
+configs = st.builds(
+    FaultConfig,
+    dram_burst_prob=st.floats(0.0, 0.5),
+    dram_burst_len=st.integers(1, 32),
+    dram_burst_extra=st.integers(0, 300),
+    icnt_spike_prob=st.floats(0.0, 0.5),
+    icnt_spike_max=st.integers(0, 300),
+    reorder_prob=st.floats(0.0, 0.4),
+    reorder_max_delay=st.integers(0, 64),
+    stall_windows=st.integers(0, 4),
+    stall_len=st.integers(0, 150),
+)
+
+ARCHES = [
+    ArchSpec.baseline(),
+    ArchSpec.make_dab(DABConfig(buffer_entries=64, scheduler="gwat",
+                                fusion=True, coalescing=True), "dab"),
+    ArchSpec.make_gpudet(),
+]
+
+
+def _run(arch, plan, fastpath):
+    prev = os.environ.get("REPRO_NO_FASTPATH")
+    if fastpath:
+        os.environ.pop("REPRO_NO_FASTPATH", None)
+    else:
+        os.environ["REPRO_NO_FASTPATH"] = "1"
+    try:
+        res = run_workload(lambda: build_atomic_sum(1024), arch,
+                           gpu_config=GPUConfig.small(), seed=1,
+                           faults=plan)
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_NO_FASTPATH", None)
+        else:
+            os.environ["REPRO_NO_FASTPATH"] = prev
+    md = res.metrics_dict()
+    md.pop("host_profile", None)
+    return {
+        "metrics": md,
+        "mem_digest": res.mem_digest,
+        "cycles": res.cycles,
+        "stalls": res.stalls.as_dict(),
+    }
+
+
+@given(seed=st.integers(0, 2**31), cfg=configs,
+       arch_idx=st.integers(0, len(ARCHES) - 1))
+@settings(max_examples=12, deadline=None)
+def test_engines_agree_under_random_fault_plans(seed, cfg, arch_idx):
+    plan = FaultPlan(seed, cfg)
+    arch = ARCHES[arch_idx]
+    assert _run(arch, plan, True) == _run(arch, plan, False)
