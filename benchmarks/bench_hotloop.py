@@ -132,6 +132,16 @@ def _append_run(entry):
     doc["runs"].append(entry)
     RESULTS_DIR.mkdir(exist_ok=True)
     BENCH_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    # Mirror the entry into the persistent run database so the campaign
+    # dashboard plots the trajectory; the JSON file stays the canonical
+    # emit and a db hiccup must never fail the benchmark.
+    try:
+        from repro.campaign.rundb import RunDB
+
+        with RunDB(RESULTS_DIR / "runs.db") as db:
+            db.record_bench("hotloop", len(doc["runs"]) - 1, entry)
+    except Exception as e:  # noqa: BLE001 - telemetry only
+        print(f"warning: run-db append skipped ({e})")
 
 
 def test_hotloop_speed():

@@ -53,6 +53,15 @@ def _append_run(entry):
             pass  # corrupt history: start a fresh trajectory
     doc["runs"].append(entry)
     BENCH_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    # Mirror into the run database for the campaign dashboard (the JSON
+    # stays canonical; a db hiccup must never fail the benchmark).
+    try:
+        from repro.campaign.rundb import RunDB
+
+        with RunDB(RESULTS_DIR / "runs.db") as db:
+            db.record_bench("sweep", len(doc["runs"]) - 1, entry)
+    except Exception as e:  # noqa: BLE001 - telemetry only
+        print(f"warning: run-db append skipped ({e})")
 
 
 def test_sweep_speed(benchmark):

@@ -1,0 +1,59 @@
+"""Fold ``BENCH_*.json`` trajectory files into the run database.
+
+The hot-loop and sweep-speed benchmarks have appended their wall-clock
+trajectories to loose JSON files since PR 2/5.  ``repro report`` calls
+:func:`ingest_bench_dir` before rendering, so that history shows up in
+the dashboard instead of living as orphaned artifacts.  Ingest is
+idempotent — entries are keyed by ``(source, run_index, entry_hash)``
+in the database, so re-reading an unchanged file inserts nothing and a
+grown file contributes only its new tail.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from repro.campaign.rundb import RunDB
+
+#: Known trajectory files: filename -> (source name, schema tag).
+BENCH_SOURCES = {
+    "BENCH_hotloop.json": ("hotloop", "repro.bench_hotloop/v1"),
+    "BENCH_sweep.json": ("sweep", "repro.bench_sweep/v1"),
+}
+
+
+def ingest_bench_dir(db: RunDB, directory) -> Dict[str, int]:
+    """Ingest every ``BENCH_*.json`` under ``directory``.
+
+    Returns ``{source: newly_inserted_count}``.  Unknown ``BENCH_*``
+    files are ingested under their lower-cased stem (minus the
+    ``BENCH_`` prefix) when they follow the common trajectory shape
+    (``{"schema": ..., "runs": [...]}``); malformed files are skipped —
+    ingest must never block a report.
+    """
+    directory = Path(directory)
+    inserted: Dict[str, int] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue  # unreadable/torn: not this subsystem's problem
+        if not isinstance(doc, dict) or not isinstance(doc.get("runs"), list):
+            continue
+        known = BENCH_SOURCES.get(path.name)
+        if known is not None:
+            source, schema = known
+            if doc.get("schema") != schema:
+                continue  # a future layout: refuse to misread it
+        else:
+            source = path.stem[len("BENCH_"):].lower() or path.stem.lower()
+        count = 0
+        for run_index, entry in enumerate(doc["runs"]):
+            if not isinstance(entry, dict):
+                continue
+            if db.record_bench(source, run_index, entry):
+                count += 1
+        inserted[source] = inserted.get(source, 0) + count
+    return inserted

@@ -1,0 +1,127 @@
+"""``repro campaign run``: execute a campaign and persist every job.
+
+Each figure's job matrix goes through the sweep engine
+(:func:`repro.harness.sweep.run_jobs` — parallel fan-out, the
+content-addressed cache, crash-tolerant journals), then the results
+come back to this process in submission order and are appended to the
+run database one transaction at a time.  The coordinator is the **only
+writer**: workers never see the database, so the row order — and
+therefore the rendered dashboard — is identical at every ``--jobs``
+level.  Wall-clock and ``created_at`` columns are the one exception
+(they record host time and are never rendered into determinism
+surfaces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from repro.campaign.rundb import RunDB, default_db_path
+from repro.campaign.spec import Campaign
+from repro.harness.report import Table
+from repro.harness.sweep import code_fingerprint, run_jobs
+
+
+@dataclass
+class FigureSummary:
+    name: str
+    jobs: int
+    cache_hits: int
+    journal_hits: int
+    simulated: int
+
+
+@dataclass
+class CampaignSummary:
+    """What one ``campaign run`` did, ready to print and to assert on."""
+
+    campaign: str
+    db_path: Path
+    fingerprint: str
+    figures: List[FigureSummary] = field(default_factory=list)
+
+    @property
+    def jobs(self) -> int:
+        return sum(f.jobs for f in self.figures)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(f.cache_hits for f in self.figures)
+
+    @property
+    def journal_hits(self) -> int:
+        return sum(f.journal_hits for f in self.figures)
+
+    @property
+    def simulated(self) -> int:
+        return sum(f.simulated for f in self.figures)
+
+    @property
+    def all_replayed(self) -> bool:
+        """True when every job came from the cache or the journal."""
+        return self.simulated == 0 and self.jobs > 0
+
+    def table(self) -> Table:
+        t = Table(
+            f"campaign {self.campaign!r} -> {self.db_path} "
+            f"(fingerprint {self.fingerprint[:12]}…)",
+            ["figure", "jobs", "simulated", "cache hits", "journal hits"],
+        )
+        for f in self.figures:
+            t.add_row(f.name, f.jobs, f.simulated, f.cache_hits,
+                      f.journal_hits)
+        t.add_row("total", self.jobs, self.simulated, self.cache_hits,
+                  self.journal_hits)
+        return t
+
+
+def run_campaign(
+    campaign: Campaign,
+    db_path=None,
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+    journal=None,
+    db: Optional[RunDB] = None,
+) -> CampaignSummary:
+    """Run every figure of ``campaign`` and append results to the db.
+
+    ``jobs`` / ``cache`` / ``cache_dir`` / ``journal`` are forwarded to
+    :func:`run_jobs` (None = session defaults).  Pass an open ``db`` to
+    reuse a handle; otherwise ``db_path`` (default
+    :func:`default_db_path`) is opened for the duration of the run.
+    """
+    fingerprint = code_fingerprint()
+    own_db = db is None
+    if own_db:
+        db = RunDB(db_path if db_path is not None else default_db_path())
+    summary = CampaignSummary(campaign=campaign.name, db_path=db.path,
+                              fingerprint=fingerprint)
+    try:
+        for figure in campaign.figures:
+            db.record_figure(campaign.name, figure.name,
+                             title=figure.title,
+                             normalize=figure.normalize)
+            specs = [job.spec for job in figure.jobs]
+            results = run_jobs(specs, jobs=jobs, cache=cache,
+                               cache_dir=cache_dir, journal=journal)
+            fig_sum = FigureSummary(figure.name, len(specs), 0, 0, 0)
+            for index, (job, result) in enumerate(zip(figure.jobs, results)):
+                if result.extra.get("cache_hit"):
+                    fig_sum.cache_hits += 1
+                elif result.extra.get("journal_hit"):
+                    fig_sum.journal_hits += 1
+                else:
+                    fig_sum.simulated += 1
+                db.record_run(
+                    campaign=campaign.name, figure=figure.name,
+                    job_index=index, workload=job.workload, arch=job.arch,
+                    spec=job.spec, result=result, fingerprint=fingerprint,
+                )
+            summary.figures.append(fig_sum)
+    finally:
+        if own_db:
+            db.close()
+    return summary

@@ -18,6 +18,8 @@ Examples::
     python -m repro check drf --workload lock_sum_racy   # expected RACY
     python -m repro audit --workload microbench --drf
     python -m repro experiment fig10
+    python -m repro campaign run examples/campaigns/fig10_quick.yaml
+    python -m repro report benchmarks/results/runs.db
     python -m repro list
 
 ``run`` executes one (workload, architecture) pair and prints the
@@ -31,7 +33,9 @@ asserts the invariant checker catches it; ``check`` is the conformance
 subsystem — ``check diff`` runs the workload × architecture matrix
 against the ISA-level reference oracle, ``check drf`` certifies
 workloads data-race-free; ``experiment`` regenerates one paper
-table/figure by name.
+table/figure by name; ``campaign run`` executes a declarative yaml
+campaign and appends every job to the persistent run database;
+``report`` renders the database into a static HTML dashboard.
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ import argparse
 import json
 import os
 import sys
+from pathlib import Path
 from typing import Callable, Dict, Optional
 
 from repro.check.differential import diff_one, run_differential
@@ -491,6 +496,69 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def cmd_campaign_run(args) -> int:
+    """Run a declarative campaign and append every job to the run db."""
+    from repro.campaign import CampaignError, load_campaign, run_campaign
+
+    try:
+        campaign = load_campaign(args.yaml)
+    except CampaignError as e:
+        raise SystemExit(f"campaign: {e}")
+    summary = run_campaign(
+        campaign,
+        db_path=args.db,
+        jobs=args.jobs,
+        cache=False if args.no_cache else None,
+        cache_dir=args.cache_dir,
+        journal=args.journal,
+    )
+    print(summary.table().render())
+    print(f"{summary.jobs} job(s) recorded -> {summary.db_path} "
+          f"({summary.cache_hits + summary.journal_hits} replayed, "
+          f"{summary.simulated} simulated)")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Render the run database into a deterministic HTML dashboard."""
+    from repro.campaign import (
+        RunDB,
+        RunDBError,
+        default_db_path,
+        ingest_bench_dir,
+        render_report,
+    )
+
+    db_path = Path(args.db) if args.db else default_db_path()
+    to_stdout = args.out == "-"
+    try:
+        with RunDB(db_path) as db:
+            if not args.no_ingest:
+                bench_dir = (Path(args.bench_dir) if args.bench_dir
+                             else db_path.parent)
+                inserted = ingest_bench_dir(db, bench_dir)
+                for source in sorted(inserted):
+                    if inserted[source] and not to_stdout:
+                        print(f"ingested {inserted[source]} new "
+                              f"BENCH entr(y/ies) from {source!r}")
+            html = render_report(db)
+            counts = db.counts()
+    except RunDBError as e:
+        raise SystemExit(f"report: {e}")
+    if to_stdout:
+        sys.stdout.write(html)
+        return 0
+    out = Path(args.out) if args.out else db_path.parent / "report.html"
+    try:
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(html, encoding="utf-8")
+    except OSError as e:
+        raise SystemExit(f"report: cannot write {out}: {e}")
+    print(f"dashboard: {out} ({counts['runs']} run(s), "
+          f"{counts['bench']} bench entr(y/ies))")
+    return 0
+
+
 def cmd_list(_args) -> int:
     print("workloads:")
     print(f"  bc:<graph>          graphs: {', '.join(TABLE2_GRAPHS)}")
@@ -634,6 +702,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result-cache directory "
                             "(default: benchmarks/results/cache)")
     exp_p.set_defaults(fn=cmd_experiment)
+
+    camp_p = sub.add_parser(
+        "campaign", help="declarative figure campaigns over the sweep "
+                         "engine, recorded in the run database")
+    camp_sub = camp_p.add_subparsers(dest="campaign_command", required=True)
+    camp_run = camp_sub.add_parser(
+        "run", help="run every figure matrix of a campaign yaml; append "
+                    "each job (spec, digests, provenance) to the run db")
+    camp_run.add_argument("yaml", metavar="CAMPAIGN_YAML",
+                          help="a repro.campaign/v1 yaml file "
+                               "(see examples/campaigns/)")
+    camp_run.add_argument("--db", metavar="PATH", default=None,
+                          help="run database "
+                               "(default: benchmarks/results/runs.db)")
+    camp_run.add_argument("--jobs", type=int, default=None, metavar="N",
+                          help="worker processes (default: session config)")
+    camp_run.add_argument("--no-cache", action="store_true",
+                          help="skip the content-addressed result cache")
+    camp_run.add_argument("--cache-dir", metavar="DIR", default=None,
+                          help="result-cache directory "
+                               "(default: benchmarks/results/cache)")
+    camp_run.add_argument("--journal", metavar="PATH", default=None,
+                          help="checkpoint/resume journal for the sweep")
+    camp_run.set_defaults(fn=cmd_campaign_run)
+
+    report_p = sub.add_parser(
+        "report", help="render the run database into a static HTML "
+                       "dashboard (byte-identical across renders)")
+    report_p.add_argument("db", nargs="?", default=None,
+                          help="run database path "
+                               "(default: benchmarks/results/runs.db)")
+    report_p.add_argument("--out", metavar="PATH", default=None,
+                          help="output HTML path (default: report.html "
+                               "next to the db; '-' = stdout)")
+    report_p.add_argument("--bench-dir", metavar="DIR", default=None,
+                          help="directory holding BENCH_*.json trajectories "
+                               "to ingest (default: the db's directory)")
+    report_p.add_argument("--no-ingest", action="store_true",
+                          help="render without ingesting BENCH_*.json files")
+    report_p.set_defaults(fn=cmd_report)
 
     list_p = sub.add_parser("list", help="list workloads and experiments")
     list_p.set_defaults(fn=cmd_list)

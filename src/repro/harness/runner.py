@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -84,6 +85,7 @@ def run_workload(
     conformance harness diffs them against the reference oracle — plain
     strings survive sweep-worker pickling and metrics round-trips).
     """
+    t0 = time.perf_counter()
     workload = factory()
     if record_state:
         from repro.memory.globalmem import CommitRecorder
@@ -102,6 +104,9 @@ def run_workload(
         invariants=invariants,
     )
     result = workload.drive(gpu)
+    # Host wall-clock: telemetry only (metrics v3 `host_profile`), never
+    # part of any determinism surface.
+    result.wall_s = time.perf_counter() - t0
     result.label = arch.label
     result.extra["output_digest"] = workload.output_digest()
     result.extra["workload"] = workload.name

@@ -88,7 +88,7 @@ from repro.workloads.sssp import build_sssp
 #: Bump on any change to the cache document layout or to simulation
 #: semantics that the code fingerprint cannot see (e.g. a data file).
 #: Every bump invalidates the entire cache.
-SWEEP_CACHE_VERSION = 2  # v2: JobSpec.record_state + metrics schema v2
+SWEEP_CACHE_VERSION = 3  # v3: metrics schema v3 (host_profile wall-clock)
 
 #: Schema tag of on-disk cache documents.
 CACHE_SCHEMA = "repro.sweep-cache/v1"
@@ -332,11 +332,17 @@ class ResultCache:
         key = spec.cache_key()
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        stored = result.metrics_dict()
+        # serial_fallback describes how *this* run was executed, not
+        # the result itself — a later cache hit must not inherit it.
+        extra = dict(stored.get("extra", {}))
+        if extra.pop("serial_fallback", None) is not None:
+            stored["extra"] = extra
         doc = {
             "schema": CACHE_SCHEMA,
             "key": key,
             "spec": spec.canonical(),
-            "result": result.metrics_dict(),
+            "result": stored,
         }
         text = json.dumps(doc, sort_keys=True) + "\n"
         tmp = path.parent / f".{key}.{os.getpid()}.tmp"
@@ -642,5 +648,7 @@ def _run_parallel(specs: Sequence[JobSpec], jobs: int,
     # Worker death survivors: graceful in-process degradation.  An
     # exception here is the job's own and propagates normally.
     for j in pending:
-        _harvested(j, _execute_spec(specs[j]))
+        res = _execute_spec(specs[j])
+        res.extra["serial_fallback"] = True  # provenance, like cache_hit
+        _harvested(j, res)
     return results  # type: ignore[return-value]

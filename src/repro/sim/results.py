@@ -18,10 +18,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: silently dropping them.  v1 documents are still accepted — their
 #: provenance flags are discarded because v1 producers re-derived them
 #: on load, so a stored flag is stale by construction.
-METRICS_SCHEMA = "repro.metrics/v2"
+#:
+#: v3: ``host_profile`` gains a stable shape — ``{"wall_s": seconds,
+#: "phases": {phase: {"seconds", "calls"}}}`` — and round-trips through
+#: ``from_metrics_dict`` (as plain data on ``wall_s`` /
+#: ``host_phases``; no Observability hub is reconstructed).  v1/v2
+#: documents load with ``wall_s=0.0`` and no phases, since their
+#: ``host_profile`` layout predates the wall-clock field.  Host time
+#: remains confined to ``host_profile``: strip that one section before
+#: any determinism diff, exactly as before.
+METRICS_SCHEMA = "repro.metrics/v3"
 
 #: Schemas ``from_metrics_dict`` accepts.
-_KNOWN_SCHEMAS = ("repro.metrics/v1", METRICS_SCHEMA)
+_KNOWN_SCHEMAS = ("repro.metrics/v1", "repro.metrics/v2", METRICS_SCHEMA)
 
 _STRICT_ENV = "REPRO_STRICT_STALLS"
 
@@ -141,6 +150,14 @@ class SimResult:
     buffer_stats: List[Dict[str, int]] = field(default_factory=list)
     #: per-memory-partition telemetry rows (reorder depth, traffic).
     partition_stats: List[Dict[str, int]] = field(default_factory=list)
+    #: host wall-clock seconds for the run (throughput telemetry only —
+    #: excluded from equality so determinism comparisons stay exact).
+    wall_s: float = field(default=0.0, compare=False)
+    #: host phase totals ({phase: {"seconds", "calls"}}) carried by
+    #: reconstructed results; live runs report the profiler's instead.
+    host_phases: Dict[str, Dict[str, float]] = field(
+        default_factory=dict, compare=False
+    )
     #: the run's observability hub (registry/tracer/profiler), if any.
     obs: Optional["Observability"] = field(
         default=None, repr=False, compare=False
@@ -179,11 +196,14 @@ class SimResult:
         restored — a reconstructed result has ``obs=None``.  Used by the
         sweep engine's disk cache (``repro.harness.sweep``).
 
-        Version-gated: v2 documents round-trip the sweep provenance
+        Version-gated: v2+ documents round-trip the sweep provenance
         flags (``cache_hit`` / ``journal_hit``); v1 documents (and
         unversioned ones, treated as v1) drop them as the v1 reader
-        always did.  Unknown schemas raise rather than silently
-        misreading a future layout.
+        always did.  v3 documents additionally restore the host
+        wall-clock and phase totals from ``host_profile`` (as plain
+        data — still no hub); earlier schemas load with ``wall_s=0``.
+        Unknown schemas raise rather than silently misreading a future
+        layout.
         """
         schema = str(doc.get("schema", "repro.metrics/v1"))
         if schema not in _KNOWN_SCHEMAS:
@@ -202,6 +222,12 @@ class SimResult:
         if schema == "repro.metrics/v1":
             extra.pop("cache_hit", None)    # stale v1 provenance
             extra.pop("journal_hit", None)  # likewise
+        wall_s, host_phases = 0.0, {}
+        if schema == METRICS_SCHEMA:
+            host = dict(doc.get("host_profile", {}))
+            wall_s = float(host.get("wall_s", 0.0))
+            host_phases = {str(k): dict(v) for k, v in
+                           dict(host.get("phases", {})).items()}
         return cls(
             label=str(doc.get("label", "")),
             cycles=int(doc["cycles"]),
@@ -223,6 +249,8 @@ class SimResult:
             extra=extra,
             buffer_stats=list(doc.get("buffers", [])),
             partition_stats=list(doc.get("partitions", [])),
+            wall_s=wall_s,
+            host_phases=host_phases,
         )
 
     def metrics_dict(self) -> Dict[str, object]:
@@ -268,7 +296,11 @@ class SimResult:
             "extra": extra,
             "metrics": {},
             "trace": {},
-            "host_profile": {},
+            "host_profile": {
+                "wall_s": self.wall_s,
+                "phases": {k: dict(self.host_phases[k])
+                           for k in sorted(self.host_phases)},
+            },
         }
         if self.obs is not None:
             if self.obs.metrics is not None:
@@ -281,5 +313,5 @@ class SimResult:
                     "digest": self.obs.tracer.digest(),
                 }
             if self.obs.profiler is not None:
-                doc["host_profile"] = self.obs.profiler.as_dict()
+                doc["host_profile"]["phases"] = self.obs.profiler.as_dict()
         return doc

@@ -64,7 +64,7 @@ class TestMetricsDict:
         doc = run_traced().metrics_dict()
         for key in self.REQUIRED:
             assert key in doc, key
-        assert doc["schema"] == "repro.metrics/v2"
+        assert doc["schema"] == "repro.metrics/v3"
 
     def test_required_content(self):
         doc = run_traced().metrics_dict()
@@ -90,7 +90,7 @@ class TestCLI:
                    "--trace", tpath])
         assert rc == 0
         doc = json.loads(open(mpath).read())
-        assert doc["schema"] == "repro.metrics/v2" and doc["metrics"]
+        assert doc["schema"] == "repro.metrics/v3" and doc["metrics"]
         lines = [json.loads(l) for l in open(tpath) if l.strip()]
         assert lines and all("cycle" in l and "cat" in l for l in lines)
 
@@ -99,7 +99,7 @@ class TestCLI:
                    "--preset", "tiny", "--metrics-json", "-"])
         assert rc == 0
         out = capsys.readouterr().out
-        assert '"schema": "repro.metrics/v2"' in out
+        assert '"schema": "repro.metrics/v3"' in out
 
     def test_trace_subcommand_views(self, capsys):
         rc = main(["trace", "--workload", "microbench:64", "--arch", "dab",

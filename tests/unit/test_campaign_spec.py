@@ -1,0 +1,155 @@
+"""Campaign-file parsing: matrix expansion, defaults, validation."""
+
+import pytest
+
+from repro.campaign.spec import (
+    CAMPAIGN_SCHEMA,
+    CampaignError,
+    load_campaign,
+    parse_campaign,
+)
+from repro.config import GPUConfig
+from repro.core.dab import BufferLevel
+
+
+def _doc(**overrides):
+    doc = {
+        "schema": CAMPAIGN_SCHEMA,
+        "campaign": "demo",
+        "defaults": {"preset": "tiny", "seeds": [1]},
+        "figures": [{
+            "name": "figA",
+            "title": "Demo figure",
+            "normalize": "baseline",
+            "workloads": [
+                {"name": "w1", "factory": "atomic_sum", "args": [48]},
+                {"factory": "order_sensitive", "args": [64]},
+            ],
+            "archs": [
+                {"name": "baseline", "kind": "baseline"},
+                {"name": "DAB", "kind": "dab",
+                 "dab": {"scheduler": "gwat", "buffer_entries": 64}},
+            ],
+        }],
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestParsing:
+    def test_matrix_order_is_workloads_x_archs_x_seeds(self):
+        doc = _doc()
+        doc["figures"][0]["seeds"] = [1, 2]
+        camp = parse_campaign(doc)
+        jobs = camp.figures[0].jobs
+        assert [(j.workload, j.arch, j.seed) for j in jobs] == [
+            ("w1", "baseline", 1), ("w1", "baseline", 2),
+            ("w1", "DAB", 1), ("w1", "DAB", 2),
+            ("order_sensitive:64", "baseline", 1),
+            ("order_sensitive:64", "baseline", 2),
+            ("order_sensitive:64", "DAB", 1),
+            ("order_sensitive:64", "DAB", 2),
+        ]
+        assert camp.total_jobs == 8
+
+    def test_specs_carry_figure_knobs(self):
+        doc = _doc()
+        doc["figures"][0].update({"preset": "small", "max_cycles": 9000,
+                                  "jitter_dram": 48, "jitter_icnt": 24})
+        spec = parse_campaign(doc).figures[0].jobs[0].spec
+        assert spec.gpu == GPUConfig.small()
+        assert spec.max_cycles == 9000
+        assert spec.jitter_dram == 48 and spec.jitter_icnt == 24
+
+    def test_gpu_overrides_applied(self):
+        doc = _doc()
+        doc["figures"][0]["gpu"] = {"num_clusters": 3}
+        spec = parse_campaign(doc).figures[0].jobs[0].spec
+        assert spec.gpu.num_clusters == 3
+
+    def test_dab_buffer_level_enum(self):
+        doc = _doc()
+        doc["figures"][0]["archs"][1]["dab"] = {
+            "buffer_level": "warp", "scheduler": "gto"}
+        arch = parse_campaign(doc).figures[0].jobs[1].spec.arch
+        assert arch.dab.buffer_level is BufferLevel.WARP
+
+    def test_default_arch_configs(self):
+        doc = _doc()
+        doc["figures"][0]["archs"] = [
+            {"name": "baseline", "kind": "baseline"},
+            {"name": "DAB", "kind": "dab"},
+            {"name": "GPUDet", "kind": "gpudet",
+             "gpudet": {"quantum_instrs": 100}},
+        ]
+        camp = parse_campaign(doc)
+        archs = {j.arch: j.spec.arch for j in camp.figures[0].jobs}
+        assert archs["DAB"].kind == "dab"
+        assert archs["GPUDet"].gpudet.quantum_instrs == 100
+
+    def test_seeds_scalar_accepted(self):
+        doc = _doc()
+        doc["defaults"]["seeds"] = 7
+        assert parse_campaign(doc).figures[0].jobs[0].seed == 7
+
+
+class TestValidation:
+    @pytest.mark.parametrize("mutate, match", [
+        (lambda d: d.update(schema="repro.campaign/v99"), "schema"),
+        (lambda d: d.update(figures=[]), "figures"),
+        (lambda d: d["figures"][0].pop("name"), "name"),
+        (lambda d: d["figures"][0].update(normalize="nope"),
+         "names no arch"),
+        (lambda d: d["figures"][0]["workloads"][0].update(
+            factory="no_such"), "unknown workload factory"),
+        (lambda d: d["figures"][0]["archs"][0].update(kind="cpu"),
+         "baseline|dab|gpudet"),
+        (lambda d: d["figures"][0].update(preset="mega"), "preset"),
+        (lambda d: d["figures"][0].update(seeds=["x"]), "seeds"),
+        (lambda d: d["figures"][0].update(max_cycles="lots"),
+         "max_cycles"),
+        (lambda d: d["figures"][0]["archs"][1]["dab"].update(
+            buffer_level="block"), "buffer_level"),
+        (lambda d: d["figures"][0]["archs"][1]["dab"].update(
+            no_such_knob=1), "no_such_knob"),
+    ])
+    def test_bad_documents_rejected(self, mutate, match):
+        doc = _doc()
+        mutate(doc)
+        with pytest.raises(CampaignError, match=match):
+            parse_campaign(doc)
+
+    def test_duplicate_figure_names_rejected(self):
+        doc = _doc()
+        doc["figures"].append(dict(doc["figures"][0]))
+        with pytest.raises(CampaignError, match="duplicate figure"):
+            parse_campaign(doc)
+
+    def test_duplicate_arch_names_rejected(self):
+        doc = _doc()
+        doc["figures"][0]["archs"].append(
+            {"name": "baseline", "kind": "gpudet"})
+        with pytest.raises(CampaignError, match="duplicate arch"):
+            parse_campaign(doc)
+
+
+class TestLoadYaml:
+    def test_example_campaigns_parse(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2] / "examples" / "campaigns"
+        files = sorted(root.glob("*.yaml"))
+        assert files, "examples/campaigns/ should ship campaign files"
+        for path in files:
+            camp = load_campaign(path)
+            assert camp.total_jobs > 0, path.name
+
+    def test_invalid_yaml_raises_campaign_error(self, tmp_path):
+        path = tmp_path / "bad.yaml"
+        path.write_text("figures: [unterminated")
+        with pytest.raises(CampaignError, match="invalid yaml"):
+            load_campaign(path)
+
+    def test_missing_file_raises_campaign_error(self, tmp_path):
+        with pytest.raises(CampaignError, match="cannot read"):
+            load_campaign(tmp_path / "nope.yaml")

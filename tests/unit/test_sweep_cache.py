@@ -133,12 +133,14 @@ class TestCanonical:
 
 
 class TestMetricsSchemaVersioning:
-    """Version gate on SimResult.from_metrics_dict (repro.metrics/v2).
+    """Version gate on SimResult.from_metrics_dict (repro.metrics/v3).
 
     v1 readers historically dropped the sweep provenance flags
-    (``cache_hit`` / ``journal_hit``) on reconstruction; v2 documents
-    round-trip them, v1 documents keep the old drop semantics, and
-    unknown schemas refuse to parse rather than silently misread.
+    (``cache_hit`` / ``journal_hit``) on reconstruction; v2+ documents
+    round-trip them; v3 documents additionally round-trip the host
+    wall-clock and phase totals under ``host_profile``.  Earlier
+    schemas still load (wall_s=0), and unknown schemas refuse to parse
+    rather than silently misread.
     """
 
     def _result_with_provenance(self):
@@ -148,12 +150,32 @@ class TestMetricsSchemaVersioning:
         res.extra["journal_hit"] = True
         return res
 
-    def test_v2_round_trips_provenance_flags(self):
+    def test_v3_round_trips_provenance_flags(self):
         doc = self._result_with_provenance().metrics_dict()
-        assert doc["schema"] == "repro.metrics/v2"
+        assert doc["schema"] == "repro.metrics/v3"
         back = SimResult.from_metrics_dict(doc)
         assert back.extra["cache_hit"] is True
         assert back.extra["journal_hit"] is True
+
+    def test_v3_round_trips_host_profile(self):
+        res = self._result_with_provenance()
+        res.host_phases = {"issue": {"seconds": 0.25, "calls": 3}}
+        doc = res.metrics_dict()
+        assert doc["host_profile"]["wall_s"] == res.wall_s > 0.0
+        assert doc["host_profile"]["phases"] == res.host_phases
+        back = SimResult.from_metrics_dict(doc)
+        assert back.wall_s == res.wall_s
+        assert back.host_phases == res.host_phases
+        assert back.metrics_dict() == doc
+
+    def test_v2_document_keeps_flags_but_not_wall_clock(self):
+        doc = self._result_with_provenance().metrics_dict()
+        doc["schema"] = "repro.metrics/v2"
+        doc["host_profile"] = {}  # the v2 layout (phase dict or empty)
+        back = SimResult.from_metrics_dict(doc)
+        assert back.extra["cache_hit"] is True
+        assert back.extra["journal_hit"] is True
+        assert back.wall_s == 0.0 and back.host_phases == {}
 
     def test_v1_document_drops_provenance_flags(self):
         doc = self._result_with_provenance().metrics_dict()
