@@ -30,6 +30,7 @@ import time
 from repro.config import GPUConfig
 from repro.core.dab import DABConfig
 from repro.harness.runner import ArchSpec, run_workload
+from repro.resilience.integrity import atomic_write_text
 from repro.workloads.bc import build_bc
 from repro.workloads.convolution import build_conv
 from repro.workloads.pagerank import build_pagerank
@@ -131,7 +132,10 @@ def _append_run(entry):
             pass  # corrupt history: start a fresh trajectory
     doc["runs"].append(entry)
     RESULTS_DIR.mkdir(exist_ok=True)
-    BENCH_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    # write-temp-then-rename: a crash mid-emit must never leave a torn
+    # BENCH file that loses the whole accumulated trajectory.
+    atomic_write_text(BENCH_PATH,
+                      json.dumps(doc, indent=2, sort_keys=True) + "\n")
     # Mirror the entry into the persistent run database so the campaign
     # dashboard plots the trajectory; the JSON file stays the canonical
     # emit and a db hiccup must never fail the benchmark.

@@ -21,6 +21,7 @@ import time
 from benchmarks.conftest import RESULTS_DIR
 from repro.harness.runner import ArchSpec
 from repro.harness.sweep import JobSpec, WorkloadRef, run_jobs
+from repro.resilience.integrity import atomic_write_text
 
 BENCH_PATH = RESULTS_DIR / "BENCH_sweep.json"
 BENCH_SCHEMA = "repro.bench_sweep/v1"
@@ -52,7 +53,10 @@ def _append_run(entry):
         except ValueError:
             pass  # corrupt history: start a fresh trajectory
     doc["runs"].append(entry)
-    BENCH_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    # write-temp-then-rename: a crash mid-emit must never leave a torn
+    # BENCH file that loses the whole accumulated trajectory.
+    atomic_write_text(BENCH_PATH,
+                      json.dumps(doc, indent=2, sort_keys=True) + "\n")
     # Mirror into the run database for the campaign dashboard (the JSON
     # stays canonical; a db hiccup must never fail the benchmark).
     try:

@@ -275,6 +275,8 @@ def svg_line_chart(series: Sequence[Tuple[str, Sequence[Tuple[str, float]]]],
 # ----------------------------------------------------------------------
 
 def _provenance(row: RunRow) -> str:
+    if row.quarantined:
+        return "quarantined"
     if row.cache_hit:
         return "cache"
     if row.journal_hit:
@@ -282,6 +284,19 @@ def _provenance(row: RunRow) -> str:
     if row.serial_fallback:
         return "serial-fallback"
     return "simulated"
+
+
+def _provenance_cell(row: RunRow) -> str:
+    """Provenance cell: badge the states a reader must not miss."""
+    prov = _provenance(row)
+    if row.quarantined:
+        kind = (row.blame or {}).get("kind", "poison")
+        return (f'<span class="badge bad">quarantined ({_esc(kind)})'
+                f"</span>")
+    cell = _esc(prov)
+    if row.integrity_ok is False:
+        cell += ' <span class="badge bad">✗ row corrupt</span>'
+    return cell
 
 
 def _digest_badge(n_runs: int, n_digests: int, arch: str) -> str:
@@ -307,6 +322,16 @@ def _figure_section(db: RunDB, campaign: str, figure: str,
                f'figure <code>{_esc(figure)}</code> · '
                f'{len(rows)} recorded run(s)</p>')
 
+    n_quarantined = sum(1 for r in rows if r.quarantined)
+    n_corrupt = sum(1 for r in rows if r.integrity_ok is False)
+    if n_quarantined:
+        out.append(f'<p><span class="badge bad">degraded: '
+                   f'{n_quarantined} quarantined job(s)</span></p>')
+    if n_corrupt:
+        out.append(f'<p><span class="badge bad">✗ integrity: '
+                   f'{n_corrupt} corrupt row(s) — run '
+                   f'<code>repro doctor</code></span></p>')
+
     # Latest row per matrix cell drives the table and the chart; the
     # full history feeds the badges and the trajectory chart below.
     latest: Dict[Tuple[str, str, int], RunRow] = {}
@@ -323,6 +348,8 @@ def _figure_section(db: RunDB, campaign: str, figure: str,
     by_arch: Dict[str, Dict[str, List[str]]] = {}
     arch_order: List[str] = []
     for row in rows:
+        if row.quarantined:
+            continue  # no result: nothing to say about digest stability
         if row.arch not in by_arch:
             by_arch[row.arch] = {}
             arch_order.append(row.arch)
@@ -349,6 +376,8 @@ def _figure_section(db: RunDB, campaign: str, figure: str,
     if normalize:
         for (w, a, s), row in latest.items():
             base = latest.get((w, normalize, s))
+            if row.quarantined or (base is not None and base.quarantined):
+                continue  # a blame row has no cycles to normalize
             if base is not None and base.cycles:
                 slowdown[(w, a, s)] = row.cycles / base.cycles
         groups = []
@@ -377,6 +406,23 @@ def _figure_section(db: RunDB, campaign: str, figure: str,
                '</tr></thead><tbody>')
     for key in cell_order:
         row = latest[key]
+        if row.quarantined:
+            cells = [
+                f"<td>{_esc(row.workload)}</td>",
+                f"<td>{_esc(row.arch)}</td>",
+                f"<td>{row.seed}</td>",
+                '<td class="num">—</td>', '<td class="num">—</td>',
+            ]
+            if normalize:
+                cells.append('<td class="num">—</td>')
+            cells += [
+                "<td>—</td>", '<td class="hash">—</td>',
+                f'<td class="hash">{_esc(row.spec_hash[:12])}</td>',
+                f'<td class="hash">{_esc(row.fingerprint[:12])}</td>',
+                f"<td>{_provenance_cell(row)}</td>",
+            ]
+            out.append("<tr>" + "".join(cells) + "</tr>")
+            continue
         prev = db.previous_run(row)
         if prev is None:
             delta = '<span class="badge">first run</span>'
@@ -405,7 +451,7 @@ def _figure_section(db: RunDB, campaign: str, figure: str,
             f'<td class="hash">{_esc(row.output_digest[:12])}</td>',
             f'<td class="hash">{_esc(row.spec_hash[:12])}</td>',
             f'<td class="hash">{_esc(row.fingerprint[:12])}{stale}</td>',
-            f"<td>{_esc(_provenance(row))}</td>",
+            f"<td>{_provenance_cell(row)}</td>",
         ]
         out.append("<tr>" + "".join(cells) + "</tr>")
     out.append("</tbody></table>")
@@ -416,7 +462,8 @@ def _figure_section(db: RunDB, campaign: str, figure: str,
     for key in cell_order:
         w, a, s = key
         history = [r for r in rows
-                   if (r.workload, r.arch, r.seed) == key]
+                   if (r.workload, r.arch, r.seed) == key
+                   and not r.quarantined]
         if len(history) < 2 or not history[0].cycles:
             continue
         label = f"{w} · {a}" + (f" · seed {s}" if len({

@@ -1,4 +1,4 @@
-"""Append-only run database (sqlite, schema ``repro.rundb/v1``).
+"""Append-only run database (sqlite, schema ``repro.rundb/v2``).
 
 The database is the durable memory of the repository: one row per
 executed sweep job, carrying everything needed to re-identify, re-run,
@@ -14,15 +14,26 @@ and compare it later —
 * host wall-clock seconds (throughput history — never part of any
   determinism surface);
 * sweep **provenance flags**: ``cache_hit`` / ``journal_hit`` /
-  ``serial_fallback``.
+  ``serial_fallback`` / ``quarantined`` (a poison job recorded with
+  structured ``blame`` instead of a result — degraded mode is part of
+  the history, never hidden);
+* a per-row **integrity checksum** (sha256 over the row's content
+  columns), recomputed on every read: bit rot in the database file is
+  detected and flagged (``RunRow.integrity_ok``), never silently
+  served as a real result.  Rows written by the v1 schema carry no
+  checksum and read back as *unverified* (``integrity_ok=None``).
 
-Write discipline: the campaign runner is the *single writer* — worker
-processes return results to the coordinator, which appends rows in
-submission order, each in its own transaction.  sqlite serializes
-concurrent writers (different campaigns appending to the same file)
-with database-level locking, so appends are atomic and the table is
-always a consistent prefix; a ``busy_timeout`` keeps simultaneous
-campaigns from failing spuriously.
+Write discipline — the **single-writer contract**: within one campaign
+the runner process is the only writer; worker processes return results
+to the coordinator, which appends rows in submission order, each in
+its own transaction.  Cross-process, sqlite serializes concurrent
+writers (different campaigns appending to the same file) with
+database-level locking, so appends are atomic and the table is always
+a consistent prefix.  Every connection sets ``PRAGMA busy_timeout`` so
+a concurrent ``repro report`` reader waits out a writer's transaction
+instead of surfacing ``database is locked`` to the user; writers
+likewise queue behind each other up to the timeout rather than fail
+spuriously.
 
 The ``bench`` table holds ingested ``BENCH_*.json`` trajectory entries
 (:mod:`repro.campaign.ingest`), deduplicated by content hash so ingest
@@ -40,8 +51,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro.resilience import integrity as _integrity
+
 #: Schema tag pinned in the ``meta`` table; bump on layout changes.
-RUNDB_SCHEMA = "repro.rundb/v1"
+#: v2: quarantined/blame provenance + per-row integrity checksums.
+RUNDB_SCHEMA = "repro.rundb/v2"
+
+#: Schema tags this reader migrates in place (append-only: migration
+#: only ever ADDs columns, existing rows are never rewritten).
+_MIGRATABLE = ("repro.rundb/v1",)
 
 _TABLES = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -69,8 +87,11 @@ CREATE TABLE IF NOT EXISTS runs (
     cache_hit       INTEGER NOT NULL DEFAULT 0,
     journal_hit     INTEGER NOT NULL DEFAULT 0,
     serial_fallback INTEGER NOT NULL DEFAULT 0,
+    quarantined     INTEGER NOT NULL DEFAULT 0,
+    blame           TEXT,
     metrics         TEXT NOT NULL,
-    created_at      REAL NOT NULL
+    created_at      REAL NOT NULL,
+    integrity       TEXT NOT NULL DEFAULT ''
 );
 CREATE INDEX IF NOT EXISTS runs_spec_hash ON runs (spec_hash, id);
 CREATE INDEX IF NOT EXISTS runs_figure ON runs (campaign, figure, id);
@@ -134,6 +155,14 @@ class RunRow:
     serial_fallback: bool
     metrics: Dict[str, object] = field(repr=False)
     created_at: float = 0.0
+    #: True when this slot's job was classified poison and quarantined
+    #: (the row records blame, not a result — cycles/metrics are empty).
+    quarantined: bool = False
+    #: structured blame ``{spec_hash, workload, kind, traceback, ...}``.
+    blame: Optional[Dict[str, object]] = None
+    #: row checksum verdict: True verified, False CORRUPT (bit rot in
+    #: the db file), None unverified (row predates sealed rows).
+    integrity_ok: Optional[bool] = None
 
     @property
     def ipc(self) -> float:
@@ -158,6 +187,9 @@ class RunDB:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(str(self.path), timeout=timeout)
+        # Readers and writers alike wait out a concurrent transaction
+        # instead of surfacing "database is locked" (single-writer
+        # contract: see the module docstring).
         self._conn.execute("PRAGMA busy_timeout = %d" % int(timeout * 1000))
         with self._conn:
             self._conn.executescript(_TABLES)
@@ -168,10 +200,37 @@ class RunDB:
                 self._conn.execute(
                     "INSERT INTO meta (key, value) VALUES ('schema', ?)",
                     (RUNDB_SCHEMA,))
+            elif row[0] in _MIGRATABLE:
+                self._migrate(row[0])
             elif row[0] != RUNDB_SCHEMA:
                 raise RunDBError(
                     f"{self.path} has schema {row[0]!r}, "
                     f"this reader supports {RUNDB_SCHEMA!r}")
+
+    def _migrate(self, from_schema: str) -> None:
+        """In-place v1 -> v2: ADD the new columns, keep every row.
+
+        Additive only — old rows are never rewritten (their empty
+        ``integrity`` reads back as *unverified*, not corrupt).  Column
+        presence is probed directly so a half-applied migration (crash
+        between ALTERs) completes instead of failing.
+        """
+        have = {r[1] for r in
+                self._conn.execute("PRAGMA table_info(runs)").fetchall()}
+        for col, ddl in (
+            ("quarantined",
+             "ALTER TABLE runs ADD COLUMN quarantined"
+             " INTEGER NOT NULL DEFAULT 0"),
+            ("blame", "ALTER TABLE runs ADD COLUMN blame TEXT"),
+            ("integrity",
+             "ALTER TABLE runs ADD COLUMN integrity"
+             " TEXT NOT NULL DEFAULT ''"),
+        ):
+            if col not in have:
+                self._conn.execute(ddl)
+        self._conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema'",
+            (RUNDB_SCHEMA,))
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -194,6 +253,32 @@ class RunDB:
     # Appends (each its own transaction: atomic, durable, ordered).
     # ------------------------------------------------------------------
 
+    #: content columns, in insert order; the per-row checksum is the
+    #: sha256 over exactly these values (``id`` is sqlite's, excluded).
+    _CONTENT_COLS = (
+        "campaign", "figure", "job_index", "workload", "arch", "seed",
+        "spec", "spec_hash", "fingerprint", "cycles", "instructions",
+        "wall_s", "output_digest", "mem_digest", "trace_digest",
+        "fault_plan", "cache_hit", "journal_hit", "serial_fallback",
+        "quarantined", "blame", "metrics", "created_at",
+    )
+
+    @classmethod
+    def _row_checksum(cls, values: Tuple) -> str:
+        """Checksum of one row's content columns (write and read sides)."""
+        return _integrity.content_checksum(
+            dict(zip(cls._CONTENT_COLS, values)))
+
+    def _insert_run(self, values: Tuple) -> int:
+        conn = self._require()
+        cols = ", ".join(self._CONTENT_COLS) + ", integrity"
+        marks = ",".join("?" * (len(self._CONTENT_COLS) + 1))
+        with conn:
+            cur = conn.execute(
+                f"INSERT INTO runs ({cols}) VALUES ({marks})",
+                values + (self._row_checksum(values),))
+        return int(cur.lastrowid)
+
     def record_run(self, *, campaign: str, figure: str, job_index: int,
                    workload: str, spec, result, fingerprint: str,
                    arch: Optional[str] = None,
@@ -205,7 +290,6 @@ class RunDB:
         the result's architecture label.  Everything recorded is
         derived here so every writer stores the same shape.
         """
-        conn = self._require()
         metrics = result.metrics_dict()
         extra = dict(metrics.get("extra", {}))
         fault_plan = None
@@ -215,35 +299,51 @@ class RunDB:
             fault_plan = json.dumps(
                 {"seed": spec.fault_seed, "config": _plain(spec.faults)},
                 sort_keys=True, separators=(",", ":"))
-        with conn:
-            cur = conn.execute(
-                "INSERT INTO runs (campaign, figure, job_index, workload,"
-                " arch, seed, spec, spec_hash, fingerprint, cycles,"
-                " instructions, wall_s, output_digest, mem_digest,"
-                " trace_digest, fault_plan, cache_hit, journal_hit,"
-                " serial_fallback, metrics, created_at)"
-                " VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
-                (
-                    campaign, figure, int(job_index), workload,
-                    arch if arch is not None else result.label,
-                    int(spec.seed),
-                    json.dumps(spec.canonical(), sort_keys=True,
-                               separators=(",", ":")),
-                    spec.spec_hash(), fingerprint,
-                    int(result.cycles), int(result.instructions),
-                    float(result.wall_s),
-                    str(extra.get("output_digest", "")),
-                    str(result.mem_digest),
-                    str(dict(metrics.get("trace", {})).get("digest", "")),
-                    fault_plan,
-                    int(bool(extra.get("cache_hit"))),
-                    int(bool(extra.get("journal_hit"))),
-                    int(bool(extra.get("serial_fallback"))),
-                    json.dumps(metrics, sort_keys=True,
-                               separators=(",", ":")),
-                    time.time() if created_at is None else created_at,
-                ))
-        return int(cur.lastrowid)
+        return self._insert_run((
+            campaign, figure, int(job_index), workload,
+            arch if arch is not None else result.label,
+            int(spec.seed),
+            json.dumps(spec.canonical(), sort_keys=True,
+                       separators=(",", ":")),
+            spec.spec_hash(), fingerprint,
+            int(result.cycles), int(result.instructions),
+            float(result.wall_s),
+            str(extra.get("output_digest", "")),
+            str(result.mem_digest),
+            str(dict(metrics.get("trace", {})).get("digest", "")),
+            fault_plan,
+            int(bool(extra.get("cache_hit"))),
+            int(bool(extra.get("journal_hit"))),
+            int(bool(extra.get("serial_fallback"))),
+            0, None,
+            json.dumps(metrics, sort_keys=True, separators=(",", ":")),
+            time.time() if created_at is None else created_at,
+        ))
+
+    def record_quarantined(self, *, campaign: str, figure: str,
+                           job_index: int, workload: str, spec,
+                           fingerprint: str, blame: Dict[str, object],
+                           arch: str = "",
+                           created_at: Optional[float] = None) -> int:
+        """Append the blame row for a quarantined (poison) job.
+
+        The slot's place in the campaign history is preserved — with
+        ``quarantined=1``, structured ``blame``, and *no* result (zero
+        cycles, empty digests) — so a degraded campaign is explicitly
+        recorded rather than silently shortened.
+        """
+        return self._insert_run((
+            campaign, figure, int(job_index), workload, arch,
+            int(spec.seed),
+            json.dumps(spec.canonical(), sort_keys=True,
+                       separators=(",", ":")),
+            spec.spec_hash(), fingerprint,
+            0, 0, 0.0, "", "", "", None, 0, 0, 0,
+            1,
+            json.dumps(dict(blame), sort_keys=True, separators=(",", ":")),
+            "{}",
+            time.time() if created_at is None else created_at,
+        ))
 
     def record_figure(self, campaign: str, figure: str, title: str = "",
                       normalize: str = "") -> None:
@@ -286,10 +386,15 @@ class RunDB:
                  " spec, spec_hash, fingerprint, cycles, instructions,"
                  " wall_s, output_digest, mem_digest, trace_digest,"
                  " fault_plan, cache_hit, journal_hit, serial_fallback,"
-                 " metrics, created_at")
+                 " quarantined, blame, metrics, created_at, integrity")
 
-    @staticmethod
-    def _row(t: Tuple) -> RunRow:
+    @classmethod
+    def _row(cls, t: Tuple) -> RunRow:
+        # Recompute the content checksum over the raw column values —
+        # exactly what the write side hashed.  '' = legacy v1 row
+        # (unverified), mismatch = bit rot (flagged, never hidden).
+        stamp = t[24]
+        ok = None if stamp == "" else (cls._row_checksum(t[1:24]) == stamp)
         return RunRow(
             id=int(t[0]), campaign=t[1], figure=t[2], job_index=int(t[3]),
             workload=t[4], arch=t[5], seed=int(t[6]),
@@ -298,8 +403,10 @@ class RunDB:
             output_digest=t[13], mem_digest=t[14], trace_digest=t[15],
             fault_plan=json.loads(t[16]) if t[16] else None,
             cache_hit=bool(t[17]), journal_hit=bool(t[18]),
-            serial_fallback=bool(t[19]), metrics=json.loads(t[20]),
-            created_at=float(t[21]),
+            serial_fallback=bool(t[19]), quarantined=bool(t[20]),
+            blame=json.loads(t[21]) if t[21] else None,
+            metrics=json.loads(t[22]),
+            created_at=float(t[23]), integrity_ok=ok,
         )
 
     def runs(self, campaign: Optional[str] = None,
@@ -355,3 +462,29 @@ class RunDB:
         n_runs = conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
         n_bench = conn.execute("SELECT COUNT(*) FROM bench").fetchone()[0]
         return {"runs": int(n_runs), "bench": int(n_bench)}
+
+    # ------------------------------------------------------------------
+    # Integrity (the `repro doctor` surface).
+    # ------------------------------------------------------------------
+
+    def integrity_report(self) -> Dict[str, object]:
+        """Verify every row's checksum; the db's `repro doctor` verdict.
+
+        Rows are append-only history, so corruption is *reported*, not
+        repaired in place — ``corrupt`` lists the row ids whose stored
+        checksum no longer matches their content (the rows a rerun must
+        not trust), ``unsealed`` counts legacy v1 rows with no checksum.
+        """
+        report = {"rows": 0, "verified": 0, "unsealed": 0,
+                  "corrupt": [], "quarantined": 0}
+        for row in self.runs():
+            report["rows"] += 1
+            if row.quarantined:
+                report["quarantined"] += 1
+            if row.integrity_ok is None:
+                report["unsealed"] += 1
+            elif row.integrity_ok:
+                report["verified"] += 1
+            else:
+                report["corrupt"].append(row.id)
+        return report

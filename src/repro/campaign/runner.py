@@ -22,6 +22,7 @@ from repro.campaign.rundb import RunDB, default_db_path
 from repro.campaign.spec import Campaign
 from repro.harness.report import Table
 from repro.harness.sweep import code_fingerprint, run_jobs
+from repro.resilience import ResilienceContext
 
 
 @dataclass
@@ -31,6 +32,7 @@ class FigureSummary:
     cache_hits: int
     journal_hits: int
     simulated: int
+    quarantined: int = 0
 
 
 @dataclass
@@ -59,6 +61,16 @@ class CampaignSummary:
         return sum(f.simulated for f in self.figures)
 
     @property
+    def quarantined(self) -> int:
+        return sum(f.quarantined for f in self.figures)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the campaign completed without some of its jobs
+        (poison quarantine) — success with an asterisk, never silent."""
+        return self.quarantined > 0
+
+    @property
     def all_replayed(self) -> bool:
         """True when every job came from the cache or the journal."""
         return self.simulated == 0 and self.jobs > 0
@@ -66,14 +78,17 @@ class CampaignSummary:
     def table(self) -> Table:
         t = Table(
             f"campaign {self.campaign!r} -> {self.db_path} "
-            f"(fingerprint {self.fingerprint[:12]}…)",
-            ["figure", "jobs", "simulated", "cache hits", "journal hits"],
+            f"(fingerprint {self.fingerprint[:12]}…)"
+            + (f" [DEGRADED: {self.quarantined} job(s) quarantined]"
+               if self.degraded else ""),
+            ["figure", "jobs", "simulated", "cache hits", "journal hits",
+             "quarantined"],
         )
         for f in self.figures:
             t.add_row(f.name, f.jobs, f.simulated, f.cache_hits,
-                      f.journal_hits)
+                      f.journal_hits, f.quarantined)
         t.add_row("total", self.jobs, self.simulated, self.cache_hits,
-                  self.journal_hits)
+                  self.journal_hits, self.quarantined)
         return t
 
 
@@ -85,6 +100,7 @@ def run_campaign(
     cache_dir: Optional[str] = None,
     journal=None,
     db: Optional[RunDB] = None,
+    resilience: Optional[ResilienceContext] = None,
 ) -> CampaignSummary:
     """Run every figure of ``campaign`` and append results to the db.
 
@@ -92,6 +108,12 @@ def run_campaign(
     :func:`run_jobs` (None = session defaults).  Pass an open ``db`` to
     reuse a handle; otherwise ``db_path`` (default
     :func:`default_db_path`) is opened for the duration of the run.
+
+    ``resilience`` arms failure classification (see
+    :func:`run_jobs`): a poison job's slot comes back ``None`` and is
+    recorded in the database as a ``quarantined`` row carrying the
+    structured blame — the campaign completes in explicitly-recorded
+    degraded mode (``summary.degraded``) instead of dying with it.
     """
     fingerprint = code_fingerprint()
     own_db = db is None
@@ -106,9 +128,26 @@ def run_campaign(
                              normalize=figure.normalize)
             specs = [job.spec for job in figure.jobs]
             results = run_jobs(specs, jobs=jobs, cache=cache,
-                               cache_dir=cache_dir, journal=journal)
+                               cache_dir=cache_dir, journal=journal,
+                               resilience=resilience)
             fig_sum = FigureSummary(figure.name, len(specs), 0, 0, 0)
             for index, (job, result) in enumerate(zip(figure.jobs, results)):
+                if result is None:
+                    # Quarantined poison job: record blame, not a result.
+                    record = (resilience.quarantine.get(job.spec.spec_hash())
+                              if resilience is not None else None)
+                    blame = (record.to_doc() if record is not None
+                             else {"spec_hash": job.spec.spec_hash(),
+                                   "workload": job.workload,
+                                   "kind": "unknown", "traceback": ""})
+                    fig_sum.quarantined += 1
+                    db.record_quarantined(
+                        campaign=campaign.name, figure=figure.name,
+                        job_index=index, workload=job.workload,
+                        arch=job.arch, spec=job.spec,
+                        fingerprint=fingerprint, blame=blame,
+                    )
+                    continue
                 if result.extra.get("cache_hit"):
                     fig_sum.cache_hits += 1
                 elif result.extra.get("journal_hit"):

@@ -12,6 +12,9 @@ Examples::
     python -m repro audit --workload microbench --trace-digest
     python -m repro chaos --seeds 10
     python -m repro chaos --workload pagerank:coA --journal /tmp/chaos.jsonl
+    python -m repro chaos host --seed 0 --workdir /tmp/chaos-host
+    python -m repro doctor benchmarks/results/cache
+    python -m repro doctor benchmarks/results/runs.db --json -
     python -m repro check diff --jobs 4
     python -m repro check diff --workloads atomic_sum,histogram --json -
     python -m repro check drf
@@ -35,7 +38,16 @@ against the ISA-level reference oracle, ``check drf`` certifies
 workloads data-race-free; ``experiment`` regenerates one paper
 table/figure by name; ``campaign run`` executes a declarative yaml
 campaign and appends every job to the persistent run database;
-``report`` renders the database into a static HTML dashboard.
+``report`` renders the database into a static HTML dashboard;
+``doctor`` scans artifact stores (caches, journals, run databases) for
+corruption, quarantines what it finds, and prints a machine-readable
+integrity report; ``chaos host`` is the host-fault twin of ``chaos`` —
+it kills/SIGSTOPs workers, flips bits in every store, and simulates a
+full disk, asserting recovery is byte-identical or failure is loud.
+
+Exit codes: 0 success, 1 failure, 2 usage error, 3 sweep timeout,
+4 unrecoverable worker failure, 5 campaign completed degraded
+(quarantined jobs — see ``campaign run --resilient``).
 """
 
 from __future__ import annotations
@@ -57,7 +69,13 @@ from repro.gpudet.gpudet import GPUDetConfig
 from repro.harness import experiments as experiments_mod
 from repro.harness import sweep
 from repro.harness.runner import ArchSpec, run_workload
-from repro.harness.sweep import JobSpec, WorkloadRef, run_jobs
+from repro.harness.sweep import (
+    JobSpec,
+    SweepTimeoutError,
+    SweepWorkerError,
+    WorkloadRef,
+    run_jobs,
+)
 from repro.obs import CATEGORIES, ObsConfig
 from repro.obs.views import (
     render_buffer_occupancy,
@@ -103,6 +121,12 @@ PRESETS = {
     "narrow": GPUConfig.narrow,
     "tiny": GPUConfig.tiny,
 }
+
+# Exit-code contract (documented in the module docstring; asserted by
+# tests/integration/test_cli_errors.py).  argparse owns 2.
+EXIT_TIMEOUT = 3
+EXIT_WORKER = 4
+EXIT_DEGRADED = 5
 
 
 def parse_workload(spec: str) -> Callable:
@@ -411,6 +435,94 @@ def cmd_chaos(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_chaos_dispatch(args) -> int:
+    """``chaos`` front door: plain = fault-plan fuzzing, ``host`` = the
+    host-fault harness (kept as a dispatch wrapper so the flat
+    ``repro chaos --seeds N`` invocation keeps working unchanged)."""
+    if getattr(args, "chaos_command", None) == "host":
+        return cmd_chaos_host(args)
+    return cmd_chaos(args)
+
+
+def cmd_chaos_host(args) -> int:
+    """Seeded host-fault harness: prove the stores and the sweep engine
+    survive bit rot, poison jobs, stopped workers, and full disks."""
+    import tempfile
+
+    from repro.resilience.chaoshost import (
+        ALL_PROBES,
+        HostFaultConfig,
+        HostFaultPlan,
+        run_chaos_host,
+    )
+    from repro.resilience.integrity import atomic_write_text
+
+    probes = ALL_PROBES
+    if args.probes:
+        probes = tuple(p.strip() for p in args.probes.split(",") if p.strip())
+    try:
+        plan = HostFaultPlan(args.host_seed, HostFaultConfig(
+            probes=probes, jobs=args.host_jobs, timeout=args.host_timeout))
+    except ValueError as e:
+        raise SystemExit(f"chaos host: {e}")
+    workdir = Path(args.workdir) if args.workdir \
+        else Path(tempfile.mkdtemp(prefix="repro-chaos-host-"))
+    print(f"chaos host: seed {plan.seed}, probes "
+          f"{', '.join(plan.config.probes)} -> {workdir}")
+    report = run_chaos_host(plan, workdir)
+    report_path = workdir / "chaos_host_report.json"
+    atomic_write_text(report_path,
+                      json.dumps(report, indent=2, sort_keys=True) + "\n")
+    for probe in report["probes"]:
+        verdict = "skipped ({})".format(probe["skipped"]) \
+            if probe.get("skipped") else ("ok" if probe["ok"] else "FAILED")
+        print(f"  {probe['probe']:9s} {verdict}")
+    print(f"report: {report_path}")
+    print("chaos host PASSED" if report["ok"] else "chaos host FAILED")
+    return 0 if report["ok"] else 1
+
+
+def cmd_doctor(args) -> int:
+    """Scan an artifact store (cache dir, journal, run db): verify every
+    checksum, quarantine corruption, repair journal tails; exit 0 iff
+    no corruption was found (staleness is not corruption)."""
+    from repro.resilience.doctor import diagnose
+
+    report = diagnose(args.target)
+    for store in report["stores"]:
+        kind = store["kind"]
+        if store.get("error"):
+            print(f"  {kind} {store['path']}: UNREADABLE ({store['error']})")
+            continue
+        if kind == "cache":
+            print(f"  cache {store['path']}: {store['entries']} entr(y/ies), "
+                  f"{store['verified']} verified, {store['stale']} stale, "
+                  f"{len(store['quarantined'])} quarantined")
+        elif kind == "journal":
+            state = "stale" if store["stale"] else "valid"
+            print(f"  journal {store['path']}: {store['records']} record(s) "
+                  f"({state}), {store['corrupt']} corrupt, "
+                  f"{store['repaired_bytes']} byte(s) repaired")
+        elif kind == "rundb":
+            print(f"  rundb {store['path']}: {store['rows']} row(s), "
+                  f"{store['verified']} verified, {store['unsealed']} "
+                  f"unsealed, {len(store['corrupt'])} corrupt, "
+                  f"{store['quarantined']} quarantined")
+    if report.get("error"):
+        print(f"doctor: {report['error']}")
+    if args.json:
+        text = json.dumps(report, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"report json: {args.json}")
+    print("doctor: all stores clean" if report["ok"]
+          else "doctor: CORRUPTION FOUND (quarantined where repairable)")
+    return 0 if report["ok"] else 1
+
+
 def cmd_check_diff(args) -> int:
     """Differential conformance: matrix vs the reference oracle."""
     names = None
@@ -500,10 +612,13 @@ def cmd_campaign_run(args) -> int:
     """Run a declarative campaign and append every job to the run db."""
     from repro.campaign import CampaignError, load_campaign, run_campaign
 
+    from repro.resilience import ResilienceContext
+
     try:
         campaign = load_campaign(args.yaml)
     except CampaignError as e:
         raise SystemExit(f"campaign: {e}")
+    resilience = ResilienceContext() if args.resilient else None
     summary = run_campaign(
         campaign,
         db_path=args.db,
@@ -511,11 +626,20 @@ def cmd_campaign_run(args) -> int:
         cache=False if args.no_cache else None,
         cache_dir=args.cache_dir,
         journal=args.journal,
+        resilience=resilience,
     )
     print(summary.table().render())
     print(f"{summary.jobs} job(s) recorded -> {summary.db_path} "
           f"({summary.cache_hits + summary.journal_hits} replayed, "
           f"{summary.simulated} simulated)")
+    if summary.degraded:
+        # Loud, distinct, and machine-checkable: the campaign finished,
+        # but not whole — quarantined rows carry the blame.
+        for record in (resilience.quarantine.records if resilience else []):
+            print(f"  quarantined: {record.workload} "
+                  f"(job {record.index}, {record.kind}, "
+                  f"{record.attempts} isolated attempts)")
+        return EXIT_DEGRADED
     return 0
 
 
@@ -654,7 +778,28 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument("--journal", metavar="PATH", default=None,
                          help="checkpoint/resume journal; a killed campaign "
                               "rerun with the same path resumes")
-    chaos_p.set_defaults(fn=cmd_chaos)
+    chaos_p.set_defaults(fn=cmd_chaos_dispatch)
+    chaos_sub = chaos_p.add_subparsers(dest="chaos_command", metavar="{host}")
+    host_p = chaos_sub.add_parser(
+        "host", help="host-fault harness: kill/SIGSTOP workers, corrupt "
+                     "stores, fill the disk; assert byte-identical "
+                     "recovery or loud, classified failure")
+    # Distinct dests: the parent ``chaos`` flags (--seed, --jobs) are
+    # parsed first and would mask same-dest subparser defaults.
+    host_p.add_argument("--seed", type=int, default=0, dest="host_seed",
+                        help="host-fault plan seed (numpy substreams "
+                             "per fault site)")
+    host_p.add_argument("--workdir", metavar="DIR", default=None,
+                        help="directory for stores + the report "
+                             "(default: a fresh temp dir)")
+    host_p.add_argument("--probes", metavar="CSV", default=None,
+                        help="comma-separated probe subset "
+                             "(default: stores,rundb,poison,watchdog,enospc)")
+    host_p.add_argument("--jobs", type=int, default=2, dest="host_jobs",
+                        metavar="N", help="worker processes per probe sweep")
+    host_p.add_argument("--timeout", type=float, default=90.0,
+                        dest="host_timeout", metavar="S",
+                        help="per-job timeout the watchdog must beat")
 
     check_p = sub.add_parser(
         "check", help="conformance: differential vs oracle, DRF certification")
@@ -725,6 +870,11 @@ def build_parser() -> argparse.ArgumentParser:
                                "(default: benchmarks/results/cache)")
     camp_run.add_argument("--journal", metavar="PATH", default=None,
                           help="checkpoint/resume journal for the sweep")
+    camp_run.add_argument("--resilient", action="store_true",
+                          help="classify worker failures: retry transient "
+                               "deaths, quarantine poison jobs with blame, "
+                               "and complete degraded (exit 5) instead of "
+                               "dying with the first crasher")
     camp_run.set_defaults(fn=cmd_campaign_run)
 
     report_p = sub.add_parser(
@@ -743,6 +893,18 @@ def build_parser() -> argparse.ArgumentParser:
                           help="render without ingesting BENCH_*.json files")
     report_p.set_defaults(fn=cmd_report)
 
+    doctor_p = sub.add_parser(
+        "doctor", help="scan/repair artifact stores (cache dirs, journals, "
+                       "run dbs); verify every checksum, quarantine "
+                       "corruption, print an integrity report")
+    doctor_p.add_argument("target", metavar="DIR_OR_FILE",
+                          help="a cache directory, journal file, or run "
+                               "database to diagnose")
+    doctor_p.add_argument("--json", metavar="PATH", default=None,
+                          help="also write the structured report here "
+                               "('-' = stdout)")
+    doctor_p.set_defaults(fn=cmd_doctor)
+
     list_p = sub.add_parser("list", help="list workloads and experiments")
     list_p.set_defaults(fn=cmd_list)
     return p
@@ -750,7 +912,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except SweepTimeoutError as e:
+        print(f"repro: sweep timeout: {e}", file=sys.stderr)
+        return EXIT_TIMEOUT
+    except SweepWorkerError as e:
+        print(f"repro: unrecoverable worker failure: {e}", file=sys.stderr)
+        return EXIT_WORKER
 
 
 if __name__ == "__main__":  # pragma: no cover

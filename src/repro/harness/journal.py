@@ -9,15 +9,24 @@ answers the second question:
 * **append-only JSONL** — a header line pinning the schema and the code
   fingerprint, then one record per completed job:
   ``{"key": <spec_hash>, "result": <metrics_dict>}``;
+* **sealed lines** — every line (header and records) carries a sha256
+  content checksum (:func:`repro.resilience.integrity.seal`) verified
+  on reload, so a bit-flip anywhere in the file is detected instead of
+  resuming from a silently-wrong result;
 * **atomic completion records** — each record is written, flushed and
   ``fsync``-ed before the campaign moves on, so a SIGKILL between jobs
   loses at most the job in flight;
 * **torn-tail tolerance** — a kill *during* a record write leaves a
-  partial last line; on reload the valid prefix is kept and the torn
-  tail is truncated away before appending resumes;
+  partial last line; on reload the valid prefix is kept and the
+  untrusted tail is preserved in ``<journal>.quarantine/`` before being
+  truncated away so appending resumes on a line boundary;
 * **fingerprint safety** — a journal written by different simulator
   code must not resume (the results could differ); on mismatch the old
   journal is discarded and rewritten, never silently reused.
+
+Line validation is shared with ``repro doctor`` — both walk the bytes
+with :func:`repro.resilience.integrity.walk_journal`, so the loader and
+the integrity scanner can never disagree about what a valid journal is.
 
 Keys are :meth:`JobSpec.spec_hash` values — content hashes of the
 canonical spec document *without* the code fingerprint (the header pins
@@ -31,8 +40,11 @@ import os
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.resilience import integrity
+
 #: Schema tag of the journal header line; bump on layout changes.
-JOURNAL_SCHEMA = "repro.sweep-journal/v1"
+#: v2: every line is sealed with an ``integrity`` content checksum.
+JOURNAL_SCHEMA = "repro.sweep-journal/v2"
 
 
 class SweepJournal:
@@ -43,55 +55,46 @@ class SweepJournal:
         self.fingerprint = fingerprint
         self._results: Dict[str, dict] = {}
         self.resumed = 0
+        #: records dropped on reload because their checksum failed.
+        self.corrupt_dropped = 0
         self._fh = None
         self._load_or_create()
 
     # ------------------------------------------------------------------
     def _load_or_create(self) -> None:
-        valid_bytes = 0
-        records: Dict[str, dict] = {}
-        header_ok = False
+        scan = None
+        raw = b""
         if self.path.exists():
             raw = self.path.read_bytes()
-            offset = 0
-            for line in raw.split(b"\n"):
-                end = offset + len(line) + 1  # +1 for the newline
-                if not line:
-                    offset = end
-                    continue
-                try:
-                    doc = json.loads(line.decode("utf-8"))
-                except (ValueError, UnicodeDecodeError):
-                    break  # torn tail: keep the valid prefix only
-                if offset == 0:
-                    if (doc.get("schema") != JOURNAL_SCHEMA
-                            or doc.get("fingerprint") != self.fingerprint):
-                        break  # stale journal: discard entirely
-                    header_ok = True
-                elif "key" in doc and "result" in doc:
-                    records[doc["key"]] = doc["result"]
-                else:
-                    break  # malformed record: stop trusting the rest
-                valid_bytes = end if end <= len(raw) else len(raw)
-                offset = end
+            scan = integrity.walk_journal(raw, JOURNAL_SCHEMA,
+                                          fingerprint=self.fingerprint)
 
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        if header_ok:
-            self._results = records
-            self.resumed = len(records)
-            # Truncate any torn tail so appends start on a line boundary.
-            if valid_bytes < self.path.stat().st_size:
+        if scan is not None and scan.header is not None:
+            self._results = scan.records
+            self.resumed = len(scan.records)
+            self.corrupt_dropped = scan.corrupt
+            # Preserve then truncate any untrusted tail (torn write or
+            # checksum failure) so appends start on a line boundary and
+            # the evidence survives for `repro doctor`.
+            if scan.valid_bytes < len(raw):
+                integrity.quarantine_bytes(
+                    self.path, raw[scan.valid_bytes:], "journal-tail")
                 with open(self.path, "r+b") as fh:
-                    fh.truncate(valid_bytes)
+                    fh.truncate(scan.valid_bytes)
             self._fh = open(self.path, "a", encoding="utf-8")
         else:
-            # Fresh (or stale/corrupt-header) journal: rewrite.
+            # Fresh journal — or a stale/corrupt/foreign one, preserved
+            # whole in quarantine before being rewritten.
+            if raw:
+                integrity.quarantine_bytes(self.path, raw, "journal-stale")
             self._fh = open(self.path, "w", encoding="utf-8")
             self._append({"schema": JOURNAL_SCHEMA,
                           "fingerprint": self.fingerprint})
 
     def _append(self, doc: dict) -> None:
-        self._fh.write(json.dumps(doc, sort_keys=True,
+        sealed = integrity.seal(doc)
+        self._fh.write(json.dumps(sealed, sort_keys=True,
                                   separators=(",", ":")) + "\n")
         self._fh.flush()
         os.fsync(self._fh.fileno())

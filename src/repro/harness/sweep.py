@@ -37,6 +37,27 @@ types carry ``.jobs``: the canonical spec hash and workload name of
 every failing job, so a failed chaos campaign is attributable and
 re-runnable.
 
+Passing ``resilience`` (a
+:class:`~repro.resilience.ResilienceContext`) arms **failure
+classification**: jobs whose shared pool died are re-run in fresh
+single-worker pools instead of in-process (where a crashing job would
+kill the coordinator); a job that kills
+:data:`~repro.resilience.ISOLATION_ATTEMPTS` dedicated pools in a row
+is deterministically poisonous and is *quarantined* with structured
+blame — its result slot comes back ``None`` and the sweep completes in
+explicitly-recorded degraded mode.  A heartbeat watchdog
+(:mod:`repro.resilience.watchdog`) additionally samples worker kernel
+states so a SIGSTOP'd worker is killed and replaced within
+``watchdog_interval * watchdog_grace`` seconds instead of burning the
+per-job timeout.
+
+Cache entries are sealed with sha256 content checksums
+(:mod:`repro.resilience.integrity`) and verified on every read; a
+corrupt entry is quarantined to ``cache.quarantine/`` — never deleted —
+and transparently recomputed.  Store writes that fail (ENOSPC, a dying
+disk) are tolerated loudly: the sweep completes, the failure is
+counted and warned about once.
+
 Long campaigns can pass ``journal=`` (a path or
 :class:`~repro.harness.journal.SweepJournal`): every completed job is
 durably appended before the sweep moves on, so a killed campaign
@@ -56,7 +77,9 @@ import enum
 import hashlib
 import json
 import os
+import sys
 import time
+import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
@@ -71,10 +94,14 @@ from repro.faults import FaultConfig, FaultPlan
 from repro.harness.journal import SweepJournal
 from repro.harness.runner import ArchSpec, run_workload
 from repro.obs import ObsConfig
+from repro.resilience import integrity
+from repro.resilience.quarantine import ISOLATION_ATTEMPTS, ResilienceContext
+from repro.resilience.watchdog import HeartbeatWatchdog
 from repro.sim.results import SimResult
 from repro.workloads import Workload
 from repro.workloads.bc import build_bc
 from repro.workloads.convolution import build_conv
+from repro.workloads.hostile import build_chaos_poison, build_chaos_stop_once
 from repro.workloads.locks import build_lock_sum, build_lock_sum_racy
 from repro.workloads.microbench import (
     build_atomic_sum,
@@ -88,10 +115,11 @@ from repro.workloads.sssp import build_sssp
 #: Bump on any change to the cache document layout or to simulation
 #: semantics that the code fingerprint cannot see (e.g. a data file).
 #: Every bump invalidates the entire cache.
-SWEEP_CACHE_VERSION = 3  # v3: metrics schema v3 (host_profile wall-clock)
+SWEEP_CACHE_VERSION = 4  # v4: sealed entries (sha256 content checksums)
 
-#: Schema tag of on-disk cache documents.
-CACHE_SCHEMA = "repro.sweep-cache/v1"
+#: Schema tag of on-disk cache documents.  v2: every document carries
+#: an ``integrity`` checksum verified on read (corrupt -> quarantine).
+CACHE_SCHEMA = "repro.sweep-cache/v2"
 
 
 class SweepError(RuntimeError):
@@ -146,6 +174,10 @@ WORKLOAD_FACTORIES: Dict[str, Callable[..., Workload]] = {
     "order_sensitive": build_order_sensitive,
     "histogram": build_histogram,
     "multi_target": build_multi_target,
+    # Hostile negative controls (resilience layer) — harmless unless
+    # invoked; see repro.workloads.hostile.
+    "chaos_host_poison": build_chaos_poison,
+    "chaos_host_stop_once": build_chaos_stop_once,
 }
 
 
@@ -308,21 +340,44 @@ def default_cache_dir() -> Path:
 
 
 class ResultCache:
-    """Content-addressed store: ``<dir>/<key[:2]>/<key>.json``."""
+    """Content-addressed store: ``<dir>/<key[:2]>/<key>.json``.
+
+    Entries are *sealed*: every document carries a sha256 content
+    checksum that is verified on read.  A corrupt entry (bit rot, a
+    torn write from a pre-atomic writer, manual tampering) is moved to
+    ``<dir>.quarantine/`` — never deleted, the evidence survives for
+    ``repro doctor`` — and treated as a miss, so the result is
+    transparently recomputed and re-sealed.
+    """
 
     def __init__(self, root) -> None:
         self.root = Path(root)
+        #: quarantine destinations of corrupt entries seen by this handle.
+        self.quarantined: List[Path] = []
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        qpath = integrity.quarantine_file(path, self.root)
+        if qpath is not None:
+            self.quarantined.append(qpath)
+
     def get(self, spec: JobSpec) -> Optional[SimResult]:
         path = self.path_for(spec.cache_key())
         try:
-            doc = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
-            return None  # missing or torn entry: treat as a miss
-        if doc.get("schema") != CACHE_SCHEMA:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            return None  # missing entry: a plain miss
+        try:
+            doc = json.loads(raw)
+        except ValueError:
+            self._quarantine(path)  # unparseable: corrupt, not foreign
+            return None
+        if not isinstance(doc, dict) or doc.get("schema") != CACHE_SCHEMA:
+            return None  # foreign/older schema: a miss, not corruption
+        if not integrity.verify(doc):
+            self._quarantine(path)
             return None
         result = SimResult.from_metrics_dict(doc["result"])
         result.extra["cache_hit"] = True
@@ -338,16 +393,16 @@ class ResultCache:
         extra = dict(stored.get("extra", {}))
         if extra.pop("serial_fallback", None) is not None:
             stored["extra"] = extra
-        doc = {
+        doc = integrity.seal({
             "schema": CACHE_SCHEMA,
             "key": key,
             "spec": spec.canonical(),
             "result": stored,
-        }
+        })
         text = json.dumps(doc, sort_keys=True) + "\n"
-        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
-        tmp.write_text(text, encoding="utf-8")
-        tmp.replace(path)  # atomic: concurrent writers race benignly
+        # write-temp-then-rename through the injectable write shim (the
+        # ENOSPC seam); concurrent writers race benignly.
+        integrity.atomic_write_text(path, text, fsync=False)
 
 
 # ----------------------------------------------------------------------
@@ -368,6 +423,12 @@ class SweepConfig:
     #: degrade to serial in-process execution when the pool keeps dying
     #: (False raises SweepWorkerError instead).
     serial_fallback: bool = True
+    #: arm the heartbeat watchdog on every pool (no-op off Linux).
+    watchdog: bool = True
+    #: seconds between worker-state samples.
+    watchdog_interval: float = 0.25
+    #: consecutive stopped observations before a worker is killed.
+    watchdog_grace: int = 2
 
 
 def _config_from_env() -> SweepConfig:
@@ -397,7 +458,10 @@ def configure(jobs: Optional[int] = None, cache: Optional[bool] = None,
               timeout: Optional[float] = None,
               retries: Optional[int] = None,
               backoff: Optional[float] = None,
-              serial_fallback: Optional[bool] = None) -> SweepConfig:
+              serial_fallback: Optional[bool] = None,
+              watchdog: Optional[bool] = None,
+              watchdog_interval: Optional[float] = None,
+              watchdog_grace: Optional[int] = None) -> SweepConfig:
     """Set session-wide defaults for :func:`run_jobs` (None = keep)."""
     cfg = get_config()
     if jobs is not None:
@@ -414,6 +478,12 @@ def configure(jobs: Optional[int] = None, cache: Optional[bool] = None,
         cfg.backoff = max(0.0, float(backoff))
     if serial_fallback is not None:
         cfg.serial_fallback = serial_fallback
+    if watchdog is not None:
+        cfg.watchdog = watchdog
+    if watchdog_interval is not None:
+        cfg.watchdog_interval = max(0.01, float(watchdog_interval))
+    if watchdog_grace is not None:
+        cfg.watchdog_grace = max(1, int(watchdog_grace))
     return cfg
 
 
@@ -474,6 +544,7 @@ def run_jobs(
     timeout: Optional[float] = None,
     obs: Optional[ObsConfig] = None,
     journal=None,
+    resilience: Optional[ResilienceContext] = None,
 ) -> List[SimResult]:
     """Execute ``specs``; return results in submission order.
 
@@ -489,6 +560,15 @@ def run_jobs(
     progresses, and on a re-run previously-journaled jobs are restored
     (``extra['journal_hit'] = True``) instead of recomputed — a killed
     campaign resumes to a byte-identical result table.
+
+    ``resilience`` (a :class:`~repro.resilience.ResilienceContext`)
+    arms failure classification: every cache miss executes in a worker
+    process (never in-process, where a crashing job would kill the
+    coordinator), jobs classified as deterministic poison are
+    quarantined with structured blame instead of raised, and their
+    result slot comes back ``None`` — the caller decides how a
+    degraded sweep is recorded.  Specs already quarantined by the
+    context are skipped without touching a pool.
     """
     specs = list(specs)
     cfg = get_config()
@@ -517,10 +597,34 @@ def run_jobs(
     if use_cache:
         rcache = ResultCache(cache_dir or cfg.cache_dir or default_cache_dir())
 
+    # Store writes are best-effort: ENOSPC or a dying disk must not take
+    # the sweep down with it.  The first failure per store disables it
+    # (every later write would fail the same way) and warns once.
+    store_ok = {"cache": True, "journal": True}
+
+    def _store_fault(store: str, exc: OSError) -> None:
+        store_ok[store] = False
+        if resilience is not None:
+            resilience.stats.store_write_errors += 1
+        print(f"repro.sweep: WARNING: {store} write failed ({exc}); "
+              f"sweep continues without durable {store} writes",
+              file=sys.stderr)
+
+    def _journal_record(spec: JobSpec, doc) -> None:
+        if jrnl is None or not store_ok["journal"]:
+            return
+        try:
+            jrnl.record(spec.spec_hash(), doc)
+        except OSError as exc:
+            _store_fault("journal", exc)
+
     try:
         results: List[Optional[SimResult]] = [None] * len(specs)
         misses: List[int] = []
         for i, spec in enumerate(specs):
+            if resilience is not None \
+                    and resilience.quarantine.is_poisoned(spec.spec_hash()):
+                continue  # known poison: slot stays None, no pool touched
             if jrnl is not None:
                 doc = jrnl.get(spec.spec_hash())
                 if doc is not None:
@@ -531,21 +635,22 @@ def run_jobs(
             hit = rcache.get(spec) if rcache is not None else None
             if hit is not None:
                 results[i] = hit
-                if jrnl is not None:
-                    # Count the cache hit as campaign progress too.
-                    jrnl.record(spec.spec_hash(), hit.metrics_dict())
+                # Count the cache hit as campaign progress too.
+                _journal_record(spec, hit.metrics_dict())
             else:
                 misses.append(i)
 
         def _completed(i: int, res: SimResult) -> None:
             results[i] = res
-            if rcache is not None:
-                rcache.put(specs[i], res)
-            if jrnl is not None:
-                jrnl.record(specs[i].spec_hash(), res.metrics_dict())
+            if rcache is not None and store_ok["cache"]:
+                try:
+                    rcache.put(specs[i], res)
+                except OSError as exc:
+                    _store_fault("cache", exc)
+            _journal_record(specs[i], res.metrics_dict())
 
         if misses:
-            if jobs == 1 or len(misses) == 1:
+            if resilience is None and (jobs == 1 or len(misses) == 1):
                 for i in misses:
                     _completed(i, _execute_spec(specs[i]))
             else:
@@ -554,7 +659,10 @@ def run_jobs(
                     jobs=min(jobs, len(misses)),
                     timeout=timeout,
                     on_result=lambda j, res: _completed(misses[j], res),
+                    resilience=resilience,
                 )
+        if resilience is not None and rcache is not None:
+            resilience.stats.cache_quarantined += len(rcache.quarantined)
         return results  # type: ignore[return-value]
     finally:
         if own_journal and jrnl is not None:
@@ -562,31 +670,92 @@ def run_jobs(
 
 
 def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
-    """Tear a pool down without waiting on hung or dead workers."""
+    """Tear a pool down without waiting on hung or dead workers.
+
+    SIGKILL, not SIGTERM: a SIGSTOP'd worker never delivers SIGTERM
+    (the signal stays queued while the process is stopped), so a
+    terminate()-based teardown would leak stopped processes forever.
+    """
     procs = list(getattr(pool, "_processes", {}).values())
     pool.shutdown(wait=False, cancel_futures=True)
     for proc in procs:
         try:
             if proc.is_alive():
-                proc.terminate()
+                proc.kill()
         except Exception:
             pass
 
 
+def _format_exc(exc: BaseException) -> str:
+    return "".join(_traceback.format_exception(
+        type(exc), exc, exc.__traceback__)).strip()
+
+
+def _isolate(spec: JobSpec, index: int, timeout: Optional[float],
+             kind: str, tb: str,
+             resilience: ResilienceContext) -> Optional[SimResult]:
+    """Classify one suspect job in fresh single-worker pools.
+
+    A job whose *shared* pool died is only a suspect: the worker may
+    have been killed by the OS for someone else's sins.  It gets
+    exactly :data:`ISOLATION_ATTEMPTS` dedicated pools; completing in
+    one clears it (transient), killing every one is the definition of
+    deterministic poison — quarantine with blame, return None.
+    Isolation runs in a subprocess on purpose: re-running a crasher
+    in-process would take the coordinator down with it.
+    """
+    for _ in range(ISOLATION_ATTEMPTS):
+        resilience.stats.isolated_attempts += 1
+        pool = ProcessPoolExecutor(max_workers=1)
+        try:
+            future = pool.submit(_execute_spec, spec)
+            res = future.result(timeout=timeout)
+        except _FuturesTimeout:
+            ref = _job_ref(index, spec)
+            raise SweepTimeoutError(
+                f"{_job_desc(ref)} exceeded the {timeout}s per-job "
+                f"timeout in an isolation pool", jobs=[ref])
+        except (BrokenProcessPool, OSError) as exc:
+            kind = "worker-death"
+            tb = _format_exc(exc)
+        except Exception as exc:  # the job's own deterministic failure
+            kind = "exception"
+            tb = _format_exc(exc)
+        else:
+            resilience.stats.isolated_recoveries += 1
+            return res
+        finally:
+            _shutdown_pool(pool)
+    resilience.quarantine.add(
+        spec_hash=spec.spec_hash(), workload=spec.workload.factory,
+        index=index, kind=kind, attempts=ISOLATION_ATTEMPTS, traceback=tb)
+    return None
+
+
 def _run_parallel(specs: Sequence[JobSpec], jobs: int,
                   timeout: Optional[float],
-                  on_result=None) -> List[SimResult]:
+                  on_result=None,
+                  resilience: Optional[ResilienceContext] = None,
+                  ) -> List[Optional[SimResult]]:
     """Fan ``specs`` out over a process pool with retry and degradation.
 
     ``on_result(j, result)`` fires as each job's result is harvested (in
     submission order) — the checkpoint-journal hook, so a campaign
     killed mid-sweep has durably recorded every harvested job.
+
+    With ``resilience`` armed, pool-killing survivors go through
+    :func:`_isolate` (fresh single-worker pools, then quarantine)
+    instead of in-process serial fallback, and every pool carries a
+    heartbeat watchdog so stopped workers are replaced within
+    ``watchdog_interval * watchdog_grace`` seconds.
     """
     cfg = get_config()
     attempts = max(1, cfg.retries)
     results: List[Optional[SimResult]] = [None] * len(specs)
     pending = list(range(len(specs)))
     reasons: Dict[int, str] = {}
+    tracebacks: Dict[int, str] = {}
+    stats = resilience.stats if resilience is not None else None
 
     def _harvested(j: int, res: SimResult) -> None:
         results[j] = res
@@ -602,6 +771,11 @@ def _run_parallel(specs: Sequence[JobSpec], jobs: int,
             time.sleep(cfg.backoff * (2 ** (attempt - 1)))
         reasons = {}
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+        watchdog = None
+        if cfg.watchdog:
+            watchdog = HeartbeatWatchdog(
+                pool, interval=cfg.watchdog_interval,
+                grace=cfg.watchdog_grace, stats=stats).start()
         try:
             futures = {}
             for j in pending:
@@ -624,7 +798,16 @@ def _run_parallel(specs: Sequence[JobSpec], jobs: int,
                     # semantics / late registration): recoverable
                     # in-process, where the registry is authoritative.
                     reasons[j] = "broken"
+                except Exception as exc:
+                    if resilience is None:
+                        raise  # legacy contract: the job's error is yours
+                    # Armed: a job exception is a poison suspect too —
+                    # classify it in isolation instead of raising.
+                    reasons[j] = "exception"
+                    tracebacks[j] = _format_exc(exc)
         finally:
+            if watchdog is not None:
+                watchdog.stop()
             _shutdown_pool(pool)
         pending = sorted(reasons)
 
@@ -637,6 +820,18 @@ def _run_parallel(specs: Sequence[JobSpec], jobs: int,
             + "; ".join(_job_desc(r) for r in refs),
             jobs=refs,
         )
+    if pending and resilience is not None:
+        # Failure classification: transient deaths recover in a fresh
+        # dedicated pool; deterministic poison is quarantined with
+        # blame and its result slot stays None.
+        for j in pending:
+            kind = ("exception" if reasons.get(j) == "exception"
+                    else "worker-death")
+            res = _isolate(specs[j], j, timeout, kind,
+                           tracebacks.get(j, ""), resilience)
+            if res is not None:
+                _harvested(j, res)
+        return results
     if pending and not cfg.serial_fallback:
         refs = [_job_ref(j, specs[j]) for j in pending]
         raise SweepWorkerError(

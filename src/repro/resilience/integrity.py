@@ -1,0 +1,257 @@
+"""Self-verifying artifact primitives: checksums, atomic writes, quarantine.
+
+Every durable store in the harness (the sweep-result cache, the
+checkpoint journal, the run database) trusts its own disk; this module
+is the shared machinery that lets them *verify* instead:
+
+* **content checksums** — :func:`seal` stamps a document with the
+  sha256 of its canonical JSON body; :func:`verify` recomputes and
+  compares on every read.  A bit-flip anywhere in a sealed document is
+  detected, never silently deserialized into a wrong result.
+* **atomic writes** — :func:`atomic_write_text` is write-temp-then-
+  rename (with fsync), so a crash mid-emit never leaves a torn file in
+  place of a good one.
+* **an injectable write shim** — every write issued through this
+  module first consults the installed shim, the seam the host-fault
+  harness (``repro chaos host``) uses to simulate ENOSPC and other
+  disk failures without filling a real disk.
+* **quarantine, never deletion** — corrupt artifacts are moved (or
+  copied) into a ``<store>.quarantine/`` directory next to the store
+  they came from, named by content hash so the operation is
+  deterministic and idempotent.  Evidence of corruption is preserved
+  for post-mortems; the store itself heals by recomputing.
+
+The journal line-walk (:func:`walk_journal`) lives here too so the
+:class:`~repro.harness.journal.SweepJournal` loader and ``repro
+doctor`` validate journal bytes with the same single implementation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+#: Key under which a document's checksum is stored (excluded from the
+#: checksummed body; part of the on-disk contract of every sealed store).
+INTEGRITY_KEY = "integrity"
+
+# ----------------------------------------------------------------------
+# Write shim: the ENOSPC / disk-fault injection seam.
+# ----------------------------------------------------------------------
+
+#: When set, called as ``shim(path, nbytes)`` before every write issued
+#: through this module; raising ``OSError`` simulates the disk failing.
+_WRITE_SHIM: Optional[Callable[[Path, int], None]] = None
+
+
+def install_write_shim(shim: Optional[Callable[[Path, int], None]]) -> None:
+    """Install (or clear, with None) the global write shim."""
+    global _WRITE_SHIM
+    _WRITE_SHIM = shim
+
+
+@contextmanager
+def write_shim(shim: Callable[[Path, int], None]):
+    """Temporarily route all resilience-layer writes through ``shim``."""
+    saved = _WRITE_SHIM
+    install_write_shim(shim)
+    try:
+        yield
+    finally:
+        install_write_shim(saved)
+
+
+def checked_write_bytes(path, data: bytes, fsync: bool = False) -> None:
+    """Write ``data`` to ``path`` through the injectable shim."""
+    path = Path(path)
+    if _WRITE_SHIM is not None:
+        _WRITE_SHIM(path, len(data))
+    with open(path, "wb") as fh:
+        fh.write(data)
+        if fsync:
+            fh.flush()
+            os.fsync(fh.fileno())
+
+
+def atomic_write_text(path, text: str, fsync: bool = True) -> None:
+    """Write-temp-then-rename: readers never observe a torn file.
+
+    The temp file lives in the destination directory (rename must not
+    cross filesystems) and carries the pid so concurrent writers race
+    benignly — last rename wins with a complete file either way.
+    """
+    path = Path(path)
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    try:
+        checked_write_bytes(tmp, text.encode("utf-8"), fsync=fsync)
+        tmp.replace(path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+
+
+# ----------------------------------------------------------------------
+# Content checksums.
+# ----------------------------------------------------------------------
+
+def content_checksum(doc) -> str:
+    """sha256 over the canonical (sorted, compact) JSON of ``doc``."""
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def seal(doc: Dict[str, object]) -> Dict[str, object]:
+    """Return ``doc`` with an ``integrity`` checksum over its body."""
+    body = {k: v for k, v in doc.items() if k != INTEGRITY_KEY}
+    return {**body, INTEGRITY_KEY: content_checksum(body)}
+
+
+def verify(doc) -> bool:
+    """True iff ``doc`` is a sealed dict whose checksum matches its body."""
+    if not isinstance(doc, dict):
+        return False
+    stamp = doc.get(INTEGRITY_KEY)
+    if not isinstance(stamp, str):
+        return False
+    body = {k: v for k, v in doc.items() if k != INTEGRITY_KEY}
+    return content_checksum(body) == stamp
+
+
+# ----------------------------------------------------------------------
+# Quarantine: preserve corrupt artifacts, never delete them.
+# ----------------------------------------------------------------------
+
+def quarantine_dir(store_path) -> Path:
+    """``<store>.quarantine/`` next to the store (file or directory)."""
+    store_path = Path(store_path)
+    return store_path.parent / (store_path.name + ".quarantine")
+
+
+def quarantine_file(path, store_path) -> Optional[Path]:
+    """Move a corrupt artifact into the store's quarantine directory.
+
+    Rename-based (no new disk space needed, so it works on a full
+    disk); the destination is suffixed with the content hash so two
+    distinct corruptions of the same filename both survive.  Returns
+    the quarantine path, or None when the move itself failed (the
+    caller should then treat the artifact as untrusted but in place).
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError:
+        data = b""
+    digest = hashlib.sha256(data).hexdigest()[:12]
+    qdir = quarantine_dir(store_path)
+    try:
+        qdir.mkdir(parents=True, exist_ok=True)
+        qpath = qdir / f"{path.name}.{digest}"
+        path.replace(qpath)
+        return qpath
+    except OSError:
+        return None
+
+
+def quarantine_bytes(store_path, data: bytes, label: str) -> Optional[Path]:
+    """Preserve loose corrupt bytes (e.g. a journal tail) in quarantine."""
+    digest = hashlib.sha256(data).hexdigest()[:12]
+    qdir = quarantine_dir(store_path)
+    try:
+        qdir.mkdir(parents=True, exist_ok=True)
+        qpath = qdir / f"{label}.{digest}.bin"
+        if not qpath.exists():  # idempotent by content hash
+            qpath.write_bytes(data)
+        return qpath
+    except OSError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# Journal line-walk (shared by SweepJournal and `repro doctor`).
+# ----------------------------------------------------------------------
+
+@dataclass
+class JournalScan:
+    """Verdict of one pass over raw journal bytes."""
+
+    #: parsed header document (None when missing/corrupt/foreign).
+    header: Optional[dict] = None
+    #: key -> result document for every verified record, in file order.
+    records: Dict[str, dict] = field(default_factory=dict)
+    #: bytes of the trusted prefix (truncation point for repair).
+    valid_bytes: int = 0
+    #: records whose checksum failed (bit-flips — not torn tails).
+    corrupt: int = 0
+    #: non-empty when the trailing bytes could not be parsed (crash tear).
+    torn: bool = False
+    #: why the walk stopped early ("" = reached end of file cleanly).
+    stopped: str = ""
+
+
+def walk_journal(raw: bytes, schema: str,
+                 fingerprint: Optional[str] = None) -> JournalScan:
+    """Validate journal bytes line by line; stop at the first bad line.
+
+    ``fingerprint=None`` accepts any header fingerprint (the doctor's
+    view: staleness is not corruption); passing one enforces it (the
+    resume path's view).  Records must carry a matching ``integrity``
+    checksum; a record that parses but fails verification marks the
+    scan ``corrupt`` and everything from that line on is untrusted.
+    """
+    scan = JournalScan()
+    offset = 0
+    for line in raw.split(b"\n"):
+        end = offset + len(line) + 1  # +1 for the newline
+        if not line:
+            offset = end
+            continue
+        if offset + len(line) >= len(raw):
+            # Final fragment with no trailing newline: the writer always
+            # terminates records, so this is a crash tear even if the
+            # fragment happens to parse — appending after it would glue
+            # two records onto one line.
+            scan.torn = True
+            scan.stopped = "unterminated final line (torn tail)"
+            break
+        try:
+            doc = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            scan.torn = True
+            scan.stopped = "unparseable line (torn tail)"
+            break
+        if offset == 0:
+            if doc.get("schema") != schema:
+                scan.stopped = f"foreign schema {doc.get('schema')!r}"
+                break
+            if not verify(doc):
+                scan.corrupt += 1
+                scan.stopped = "header failed integrity check"
+                break
+            if fingerprint is not None \
+                    and doc.get("fingerprint") != fingerprint:
+                scan.stopped = "stale fingerprint"
+                break
+            scan.header = doc
+        elif scan.header is None:
+            scan.stopped = "records before a valid header"
+            break
+        elif "key" in doc and "result" in doc:
+            if not verify(doc):
+                scan.corrupt += 1
+                scan.stopped = "record failed integrity check"
+                break
+            scan.records[doc["key"]] = doc["result"]
+        else:
+            scan.stopped = "malformed record"
+            break
+        scan.valid_bytes = min(end, len(raw))
+        offset = end
+    return scan

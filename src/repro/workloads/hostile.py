@@ -1,0 +1,49 @@
+"""Hostile workload factories: seeded negative controls for the
+resilience layer.
+
+Like ``lock_sum_racy`` (the expected-RACY control for the race
+certifier), these are registered in the default sweep registry so
+campaigns and CLI invocations can address them by name — they exist to
+*prove the harness fails well*, and are harmless unless invoked:
+
+* ``chaos_host_poison`` — the factory ``os._exit``\\ s the worker
+  process that builds it: a deterministic worker-killer, the definition
+  of a poison job.  The sweep engine must classify it after exactly
+  ``ISOLATION_ATTEMPTS`` fresh-pool attempts and quarantine it with
+  structured blame while the campaign completes degraded.
+* ``chaos_host_stop_once`` — SIGSTOPs its worker the first time it is
+  built (recorded via a sentinel file), then behaves as a plain
+  ``atomic_sum``: a *transient* hang the heartbeat watchdog must
+  convert into a worker replacement and a clean retry, never a
+  quarantine and never a per-job timeout.
+
+Both rely on fork start semantics (the registry is inherited by pool
+workers), like every other registered factory.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from pathlib import Path
+
+from repro.workloads.microbench import build_atomic_sum
+
+
+def build_chaos_poison(n: int = 16):
+    """Deterministically kills its worker: the definition of poison."""
+    os._exit(23)
+
+
+def build_chaos_stop_once(sentinel: str, n: int = 48):
+    """SIGSTOPs its worker once (first call), then behaves normally."""
+    path = Path(sentinel)
+    if not path.exists():
+        try:
+            path.touch()
+        except OSError:
+            pass
+        os.kill(os.getpid(), signal.SIGSTOP)
+        # Unreachable in the chaos-host probe: the watchdog SIGKILLs a
+        # stopped worker.  Reached only if something SIGCONTs it.
+    return build_atomic_sum(n)

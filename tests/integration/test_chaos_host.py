@@ -1,0 +1,256 @@
+"""Host-fault resilience end to end: poison quarantine, watchdog,
+store recovery, and the ``chaos host`` / ``doctor`` CLI surface.
+
+These are the acceptance tests of the resilience tentpole: a
+deterministic crasher is quarantined after exactly ISOLATION_ATTEMPTS
+fresh-pool attempts while the campaign completes degraded with blame
+recorded in the run database; corrupted stores recover byte-identical;
+the CLI exit-code contract (3 timeout / 4 worker / 5 degraded) holds.
+"""
+
+import json
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.harness.runner import ArchSpec
+from repro.harness.sweep import JobSpec, WorkloadRef, run_jobs
+from repro.resilience.chaoshost import (
+    HostFaultConfig,
+    HostFaultPlan,
+    metrics_digest,
+    smoke_campaign,
+    smoke_specs,
+)
+from repro.resilience.quarantine import ISOLATION_ATTEMPTS, ResilienceContext
+from repro.resilience.watchdog import watchdog_supported
+
+from .test_cli_errors import run_cli
+
+
+def _poison_spec():
+    return JobSpec(WorkloadRef("chaos_host_poison", (16,)),
+                   ArchSpec.baseline(), gpu=GPUConfig.tiny(), seed=1)
+
+
+class TestPoisonQuarantine:
+    def test_poison_job_quarantined_campaign_continues(self, tmp_path):
+        from repro.campaign.rundb import RunDB
+        from repro.campaign.runner import run_campaign
+
+        ctx = ResilienceContext(quarantine_path=tmp_path / "blame.jsonl")
+        summary = run_campaign(smoke_campaign(extra_poison=True),
+                               db_path=tmp_path / "runs.db", jobs=2,
+                               cache=False, resilience=ctx)
+        assert summary.degraded and summary.quarantined == 1
+        assert summary.jobs == 3
+        [record] = ctx.quarantine.records
+        assert record.workload == "chaos_host_poison"
+        assert record.kind == "worker-death"
+        # The acceptance contract: exactly N fresh-pool attempts, then
+        # quarantine — never an endless retry loop.
+        assert record.attempts == ISOLATION_ATTEMPTS
+        with RunDB(tmp_path / "runs.db") as db:
+            rows = db.runs()
+            good = [r for r in rows if not r.quarantined]
+            bad = [r for r in rows if r.quarantined]
+        assert len(good) == 2 and len(bad) == 1
+        assert bad[0].blame["kind"] == "worker-death"
+        assert bad[0].blame["spec_hash"] == _poison_spec().spec_hash()
+
+    def test_quarantined_spec_skipped_on_rerun(self, tmp_path):
+        ctx = ResilienceContext()
+        spec = _poison_spec()
+        first = run_jobs([spec], jobs=1, cache=False, resilience=ctx)
+        assert first == [None]
+        attempts_after_first = ctx.stats.isolated_attempts
+        # Second sweep with the same context: no new pools are burned.
+        second = run_jobs([spec], jobs=1, cache=False, resilience=ctx)
+        assert second == [None]
+        assert ctx.stats.isolated_attempts == attempts_after_first
+
+    def test_without_resilience_contract_unchanged(self):
+        from repro.harness.sweep import SweepWorkerError, configured
+
+        # Two misses keep the engine on the pool path (a single miss
+        # runs in-process, where a poison job would kill *this*
+        # process — exactly what armed resilience exists to prevent).
+        specs = [smoke_specs()[0], _poison_spec()]
+        with configured(retries=2, backoff=0.01, serial_fallback=False):
+            with pytest.raises(SweepWorkerError):
+                run_jobs(specs, jobs=2, cache=False)
+
+
+@pytest.mark.skipif(not watchdog_supported(), reason="needs /proc")
+class TestWatchdog:
+    def test_stopped_worker_replaced_without_timeout(self, tmp_path):
+        from repro.harness.sweep import configured
+
+        sentinel = tmp_path / "stop-once.sentinel"
+        specs = [JobSpec(WorkloadRef("chaos_host_stop_once",
+                                     (str(sentinel), 48)),
+                         ArchSpec.baseline(), gpu=GPUConfig.tiny(), seed=1)]
+        ctx = ResilienceContext()
+        with configured(watchdog=True, watchdog_interval=0.05,
+                        watchdog_grace=2):
+            results = run_jobs(specs, jobs=2, cache=False, timeout=60,
+                               resilience=ctx)
+        assert results[0] is not None
+        assert ctx.stats.workers_replaced >= 1
+        assert len(ctx.quarantine) == 0  # transient, not poison
+
+
+class TestStoreRecovery:
+    def test_cache_corruption_recovers_byte_identical(self, tmp_path):
+        specs = smoke_specs()
+        cache_dir = tmp_path / "cache"
+        baseline = run_jobs(specs, jobs=1, cache=True,
+                            cache_dir=str(cache_dir))
+        entries = sorted(cache_dir.rglob("*.json"))
+        assert entries
+        for entry in entries:
+            data = bytearray(entry.read_bytes())
+            data[len(data) // 2] ^= 0x10
+            entry.write_bytes(bytes(data))
+        ctx = ResilienceContext()
+        recovered = run_jobs(specs, jobs=1, cache=True,
+                             cache_dir=str(cache_dir), resilience=ctx)
+        assert metrics_digest(recovered) == metrics_digest(baseline)
+        assert ctx.stats.cache_quarantined == len(entries)
+        qdir = cache_dir.parent / (cache_dir.name + ".quarantine")
+        assert len(list(qdir.iterdir())) == len(entries)
+
+
+class TestChaosHostHarness:
+    def test_plan_is_frozen_and_validated(self):
+        with pytest.raises(ValueError, match="unknown chaos-host probe"):
+            HostFaultConfig(probes=("stores", "nope"))
+        plan = HostFaultPlan.sample(3)
+        assert plan.seed == 3
+        # Substreams are independent and reproducible.
+        assert plan.rng(0).integers(0, 1 << 30) \
+            == HostFaultPlan.sample(3).rng(0).integers(0, 1 << 30)
+        assert plan.rng(0).integers(0, 1 << 30) \
+            != plan.rng(1).integers(0, 1 << 30)
+
+    def test_cli_chaos_host_smoke(self, tmp_path):
+        # The cheap probes end to end through the real CLI; the full
+        # battery (poison + watchdog included) runs in CI's
+        # chaos-host-smoke job and via `repro chaos host --seed 0`.
+        proc = run_cli("chaos", "host", "--seed", "0",
+                       "--probes", "stores,enospc",
+                       "--workdir", str(tmp_path), timeout=300)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "chaos host PASSED" in proc.stdout
+        report = json.loads(
+            (tmp_path / "chaos_host_report.json").read_text())
+        assert report["ok"] and report["seed"] == 0
+        stores = next(p for p in report["probes"]
+                      if p["probe"] == "stores")
+        assert stores["byte_identical"]
+
+    def test_cli_chaos_flat_form_still_works(self):
+        proc = run_cli("chaos", "--seeds", "0")
+        assert proc.returncode != 0
+        assert "--seeds must be >= 1" in proc.stderr
+
+
+class TestCLIExitCodes:
+    def test_degraded_campaign_exits_5(self, tmp_path):
+        yaml = tmp_path / "poison.yaml"
+        yaml.write_text("""\
+schema: repro.campaign/v1
+campaign: poison_smoke
+description: degraded-mode exit-code check.
+defaults: {preset: tiny, seeds: [1]}
+figures:
+  - name: smoke
+    workloads:
+      - {name: atomic_sum_48, factory: atomic_sum, args: [48]}
+      - {name: chaos_host_poison, factory: chaos_host_poison, args: [16]}
+    archs:
+      - {name: baseline, kind: baseline}
+""")
+        env_cmd = ["campaign", "run", str(yaml), "--db",
+                   str(tmp_path / "runs.db"), "--no-cache", "--jobs", "2",
+                   "--resilient"]
+        proc = run_cli(*env_cmd, timeout=300)
+        assert proc.returncode == 5, proc.stdout + proc.stderr
+        assert "DEGRADED" in proc.stdout
+        assert "quarantined: chaos_host_poison" in proc.stdout
+
+    def test_worker_failure_exits_4(self, tmp_path, capsys):
+        # In-process (configured() pins the session sweep config): with
+        # serial fallback off, the poison job must surface as
+        # SweepWorkerError -> exit 4, never as a raw traceback.
+        from repro.cli import main
+        from repro.harness.sweep import configured
+
+        yaml = self._poison_yaml(tmp_path)
+        with configured(serial_fallback=False, retries=1, backoff=0.0):
+            rc = main(["campaign", "run", str(yaml), "--db",
+                       str(tmp_path / "runs.db"), "--no-cache",
+                       "--jobs", "2"])
+        assert rc == 4
+        assert "unrecoverable worker failure" in capsys.readouterr().err
+
+    def test_sweep_timeout_exits_3(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.harness.sweep import configured
+
+        yaml = self._smoke_yaml(tmp_path)
+        with configured(timeout=1e-6):
+            rc = main(["campaign", "run", str(yaml), "--db",
+                       str(tmp_path / "runs.db"), "--no-cache",
+                       "--jobs", "2"])
+        assert rc == 3
+        assert "sweep timeout" in capsys.readouterr().err
+
+    @staticmethod
+    def _poison_yaml(tmp_path):
+        path = tmp_path / "poison.yaml"
+        path.write_text("""\
+schema: repro.campaign/v1
+campaign: poison_smoke
+description: worker-failure exit-code check.
+defaults: {preset: tiny, seeds: [1]}
+figures:
+  - name: smoke
+    workloads:
+      - {name: atomic_sum_48, factory: atomic_sum, args: [48]}
+      - {name: chaos_host_poison, factory: chaos_host_poison, args: [16]}
+    archs:
+      - {name: baseline, kind: baseline}
+""")
+        return path
+
+    @staticmethod
+    def _smoke_yaml(tmp_path):
+        path = tmp_path / "smoke.yaml"
+        path.write_text("""\
+schema: repro.campaign/v1
+campaign: timeout_smoke
+description: timeout exit-code check.
+defaults: {preset: tiny, seeds: [1]}
+figures:
+  - name: smoke
+    workloads:
+      - {name: atomic_sum_48, factory: atomic_sum, args: [48]}
+    archs:
+      - {name: baseline, kind: baseline}
+      - {name: DAB, kind: dab}
+""")
+        return path
+
+    def test_doctor_clean_exits_0_corrupt_exits_1(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_jobs(smoke_specs()[:1], jobs=1, cache=True,
+                 cache_dir=str(cache_dir))
+        proc = run_cli("doctor", str(cache_dir))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "all stores clean" in proc.stdout
+        victim = next(iter(sorted(cache_dir.rglob("*.json"))))
+        victim.write_text("{definitely not json")
+        proc = run_cli("doctor", str(cache_dir), "--json", "-")
+        assert proc.returncode == 1
+        assert "CORRUPTION FOUND" in proc.stdout

@@ -101,13 +101,18 @@ class TestResultRoundTrip:
         # leak back into the stored document's metrics.
         assert "cache_hit" not in res.extra
 
-    def test_torn_entry_is_a_miss(self, tmp_path):
+    def test_torn_entry_is_a_miss_and_quarantined(self, tmp_path):
         spec = _spec(gpu=GPUConfig.tiny())
         cache = ResultCache(tmp_path)
         path = cache.path_for(spec.cache_key())
         path.parent.mkdir(parents=True)
-        path.write_text('{"schema": "repro.sweep-cache/v1", "resu')
+        path.write_text(f'{{"schema": "{sweep.CACHE_SCHEMA}", "resu')
         assert cache.get(spec) is None
+        # A torn entry is corruption: preserved in quarantine, not left
+        # in place to fail again on the next read.
+        assert not path.exists()
+        assert len(cache.quarantined) == 1
+        assert cache.quarantined[0].exists()
 
     def test_schema_mismatch_is_a_miss(self, tmp_path):
         spec = _spec(gpu=GPUConfig.tiny())
@@ -116,8 +121,26 @@ class TestResultRoundTrip:
         cache.put(spec, res)
         doc = cache.path_for(spec.cache_key()).read_text()
         cache.path_for(spec.cache_key()).write_text(
-            doc.replace("repro.sweep-cache/v1", "repro.sweep-cache/v0"))
+            doc.replace(sweep.CACHE_SCHEMA, "repro.sweep-cache/v0"))
         assert cache.get(spec) is None
+        # A foreign schema is staleness, not corruption: no quarantine.
+        assert cache.quarantined == []
+
+    def test_bitflip_is_quarantined_and_recomputed(self, tmp_path):
+        spec = _spec(gpu=GPUConfig.tiny())
+        cache = ResultCache(tmp_path)
+        res = sweep._execute_spec(spec)
+        cache.put(spec, res)
+        path = cache.path_for(spec.cache_key())
+        doc = path.read_text()
+        path.write_text(doc.replace('"cycles": ', '"cycles": 9'))
+        assert cache.get(spec) is None          # detected on read
+        assert not path.exists()                # quarantined, not in place
+        qdir = tmp_path.parent / (tmp_path.name + ".quarantine")
+        assert list(qdir.iterdir())             # evidence preserved
+        cache.put(spec, res)                    # transparently recomputed
+        hit = cache.get(spec)
+        assert hit is not None and hit.cycles == res.cycles
 
 
 class TestCanonical:
