@@ -12,9 +12,15 @@ Three layers, each usable on its own:
   reduction multisets, and fp32 outputs against the oracle;
 * :mod:`repro.check.racecert` — a vector-clock happens-before checker
   over the access trace, certifying workloads data-race-free (DAB's
-  weak-determinism precondition) or naming the conflicting accesses.
+  weak-determinism precondition) or naming the conflicting accesses;
+* :mod:`repro.check.mc` — a stateless model checker that *enumerates*
+  every legal warp interleaving of tiny micro-kernels (DPOR-pruned,
+  brute-force cross-checkable) and proves DAB's commit determinism per
+  kernel rather than sampling it, emitting ``repro.mc/v1``
+  certificates with replay-verified divergence witnesses.
 
-``repro check diff`` / ``repro check drf`` expose these on the CLI.
+``repro check diff`` / ``repro check drf`` / ``repro check mc`` expose
+these on the CLI.
 """
 
 from repro.check.differential import (
@@ -22,6 +28,20 @@ from repro.check.differential import (
     Mismatch,
     diff_one,
     run_differential,
+)
+from repro.check.mc import (
+    DivergenceWitness,
+    Exploration,
+    MCError,
+    MCReport,
+    MCRun,
+    ScheduleController,
+    ScheduleTraceError,
+    certify_many,
+    certify_mc,
+    explore,
+    run_interleaving,
+    write_certificates,
 )
 from repro.check.oracle import (
     OracleError,
@@ -33,6 +53,8 @@ from repro.check.oracle import (
 from repro.check.presets import (
     CERT_WORKLOADS,
     DIFF_WORKLOADS,
+    MC_WORKLOADS,
+    MCWorkloadPolicy,
     WorkloadPolicy,
     diff_archs,
 )
@@ -47,18 +69,32 @@ __all__ = [
     "CERT_WORKLOADS",
     "DIFF_WORKLOADS",
     "DiffReport",
+    "DivergenceWitness",
+    "Exploration",
+    "MCError",
+    "MCReport",
+    "MCRun",
+    "MC_WORKLOADS",
+    "MCWorkloadPolicy",
     "Mismatch",
     "OracleError",
     "OracleGPU",
     "OracleResult",
     "RaceRecord",
     "RaceReport",
+    "ScheduleController",
+    "ScheduleTraceError",
     "WorkloadPolicy",
     "certify_all",
     "certify_drf",
+    "certify_many",
+    "certify_mc",
     "diff_archs",
     "diff_one",
+    "explore",
     "run_differential",
+    "run_interleaving",
     "run_oracle",
     "summarize_reds",
+    "write_certificates",
 ]

@@ -1,0 +1,994 @@
+"""Stateless model checking of warp interleavings (GPUMC-style).
+
+The DRF certifier samples one schedule; the chaos harness samples many.
+This module *enumerates*: for micro-kernels with 2–3 warps it executes
+every legal warp interleaving from scratch (stateless model checking)
+and proves, rather than samples, the paper's central claim — a
+deterministic architecture commits an identical reduction multiset (and
+bitwise memory image) under **every** legal schedule, while baseline
+immediate commit provably diverges on non-associative data, with a
+concrete witness interleaving in hand.
+
+Execution model
+---------------
+An interleaving is a sequence of *moves*.  One move = one warp runs
+invisible steps (ALU, branches, moves) eagerly until it performs one
+*visible* operation — a load, store, reduction, returning atomic,
+barrier arrival, fence, or exit.  Invisible steps touch no shared
+state, so fixing interleavings at visible-op granularity loses no
+behaviors relative to the shared-memory semantics of the functional
+core (the same :class:`~repro.arch.warp.Warp` / GlobalMemory pair the
+simulator and oracle use).  A whole-warp memory instruction is one move
+with its lanes applied in lane order — warp-granular interleaving, the
+granularity the architecture actually schedules at.
+
+Which warp moves next is decided through a
+:class:`ScheduleController`, a :class:`repro.faults.ScheduleSeam` — the
+same seam surface the fault injector's ``deliver_at`` perturbs, driven
+here by recorded/replayed decision traces instead of seeded chaos.
+
+Two commit models re-execute each interleaving:
+
+* ``"dab"`` — deferred atomic buffering semantics: reductions are
+  buffered and committed at synchronization points (barrier completion,
+  fence, kernel end) in canonical ``(addr, opcode, operand bits)``
+  order, exactly as :mod:`repro.check.oracle` applies them;
+* ``"baseline"`` — immediate commit: reductions are applied at issue in
+  schedule order, so f32 non-associativity makes the bitwise result a
+  function of the interleaving.
+
+Exploration
+-----------
+A depth-first search over the schedule tree, stateless: each branch
+re-executes the program from scratch following a decision-trace prefix.
+``dpor=True`` prunes with dynamic partial-order reduction
+(Flanagan–Godefroid): after each execution, racing move pairs —
+conflicting, different warps, not happens-before-ordered through other
+moves — seed backtrack points, so only inequivalent interleavings (one
+per Mazurkiewicz trace, plus bounded redundancy) are explored.
+``dpor=False`` is brute force, used to cross-check that pruning loses
+no terminal state.  Barrier/fence moves conservatively conflict with
+every memory move: under deferred commit, the flush they trigger makes
+their position relative to reductions semantically relevant.
+
+Soundness scope (DESIGN.md §15): per kernel and per input, at
+warp-granular visible-op interleavings of the functional memory model —
+small state by construction (warp counts are capped).  Within that
+scope the enumeration is exhaustive, not sampled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.kernel import CTA, Kernel
+from repro.arch.warp import Warp
+from repro.faults.plan import ScheduleSeam
+from repro.memory.globalmem import CommitRecorder, GlobalMemory
+from repro.sim.results import SimResult
+from repro.check.differential import Mismatch, compare_memory
+from repro.check.oracle import (
+    OracleResult,
+    canonical_op_key,
+    run_oracle,
+)
+from repro.check.presets import MC_WORKLOADS, MCWorkloadPolicy, WorkloadPolicy
+
+#: Hard cap on warps per kernel — the interleaving count is exponential
+#: in visible ops, so exhaustive checking is a small-state technique.
+MC_MAX_WARPS = 6
+
+#: Interleavings one exploration may execute before the checker gives
+#: up.  Exceeding it raises (no partial certification): a proof that
+#: stops early is a sample.
+DEFAULT_MAX_INTERLEAVINGS = 20_000
+
+#: Functional steps per interleaving (spin loops are not model-checkable).
+DEFAULT_STEP_BUDGET = 200_000
+
+_MODELS = ("dab", "baseline")
+
+
+class MCError(RuntimeError):
+    """The model checker could not produce a proof (budget, deadlock,
+    oversized kernel, or internal nondeterminism)."""
+
+
+class ScheduleTraceError(MCError):
+    """A decision trace failed to replay.
+
+    Structured so tests and the sweep worker boundary keep the blame:
+    ``reason`` is one of ``"not-enabled"`` (garbled decision),
+    ``"exhausted"`` (truncated trace), ``"unconsumed"`` (trace longer
+    than the execution); ``point`` is the decision index; ``decision``
+    the offending warp uid (or None); ``enabled`` the runnable warps at
+    that point.
+    """
+
+    def __init__(self, reason: str, point: int,
+                 decision: Optional[int] = None,
+                 enabled: Tuple[int, ...] = ()):
+        self.reason = reason
+        self.point = point
+        self.decision = decision
+        self.enabled = tuple(enabled)
+        if reason == "not-enabled":
+            msg = (f"decision {point}: warp {decision} is not enabled "
+                   f"(enabled: {list(self.enabled)}) — garbled trace?")
+        elif reason == "exhausted":
+            msg = (f"decision {point}: trace exhausted but execution "
+                   f"needs another decision (enabled: "
+                   f"{list(self.enabled)}) — truncated trace?")
+        else:
+            msg = (f"execution finished after {point} decision(s) but "
+                   f"the trace has more — stale or foreign trace?")
+        super().__init__(f"schedule trace error: {msg}")
+
+    def __reduce__(self):
+        # Keep the structured fields across the sweep engine's process
+        # boundary (default exception pickling would replay
+        # ``cls(msg)`` and fail this __init__ signature).
+        return (ScheduleTraceError,
+                (self.reason, self.point, self.decision, self.enabled))
+
+
+class ScheduleController(ScheduleSeam):
+    """Records and replays scheduler decision traces.
+
+    A decision trace is the sequence of warp *uids* chosen at each
+    scheduling point.  With an empty ``prefix`` the controller is the
+    canonical-DFS default (lowest enabled uid).  With a ``prefix`` it
+    follows the given decisions, validating each against the enabled
+    set, then (``strict=False``, exploration mode) continues with the
+    default, or (``strict=True``, replay mode) demands the trace cover
+    the whole execution exactly.
+
+    After a run, ``decisions`` is the complete executed trace and
+    ``enabled_log`` the runnable-warp set at every point — the model
+    checker's backtracking state.
+    """
+
+    def __init__(self, prefix: Sequence[int] = (), strict: bool = False):
+        super().__init__()
+        self.prefix: Tuple[int, ...] = tuple(int(u) for u in prefix)
+        self.strict = strict
+        self.decisions: List[int] = []
+        self.enabled_log: List[Tuple[int, ...]] = []
+
+    def choose(self, options: Tuple[int, ...]) -> int:
+        options = tuple(options)
+        if not options:
+            raise MCError("choose() called with no enabled warps")
+        point = len(self.decisions)
+        if point < len(self.prefix):
+            pick = self.prefix[point]
+            if pick not in options:
+                raise ScheduleTraceError("not-enabled", point, pick, options)
+        elif self.strict:
+            raise ScheduleTraceError("exhausted", point, None, options)
+        else:
+            pick = min(options)
+        self.decisions.append(pick)
+        self.enabled_log.append(options)
+        return pick
+
+    def finish(self) -> None:
+        """Validate trace consumption at the end of an execution."""
+        if len(self.decisions) < len(self.prefix):
+            raise ScheduleTraceError("unconsumed", len(self.decisions),
+                                     self.prefix[len(self.decisions)])
+
+
+@dataclass(frozen=True)
+class MoveRecord:
+    """One executed move, as the DPOR race analysis sees it."""
+
+    warp: int                    # warp uid
+    kind: str                    # load|store|red|atom|bar|fence|local
+    addrs: Tuple[int, ...]       # unique word addresses touched
+    write: bool                  # at least one lane writes
+    sync: bool                   # barrier/fence: orders deferred commits
+    kernel: int                  # kernel index (boundaries are joins)
+
+
+def _conflicts(a: MoveRecord, b: MoveRecord) -> bool:
+    """Do two moves of *different* warps not commute?
+
+    Address-disjoint or read-read memory moves commute.  Barrier and
+    fence arrivals conservatively conflict with every memory move: in
+    the deferred-commit model the flush they may trigger changes which
+    batch a reduction lands in, so their relative order is semantic.
+    (Sound over-approximation — at worst extra interleavings, never a
+    missed behavior.)
+    """
+    if a.kernel != b.kernel:
+        return False  # kernel launches are host-synchronous joins
+    if a.sync and b.sync:
+        return False  # arrival order within one sync point is immaterial
+    if a.sync:
+        return bool(b.addrs)
+    if b.sync:
+        return bool(a.addrs)
+    if not (a.write or b.write):
+        return False
+    return not set(a.addrs).isdisjoint(b.addrs)
+
+
+@dataclass(frozen=True)
+class MCRun:
+    """Deterministic summary of one executed interleaving."""
+
+    decisions: Tuple[int, ...]
+    enabled_log: Tuple[Tuple[int, ...], ...]
+    moves: Tuple[MoveRecord, ...]
+    mem_digest: str              # sha256, sorted-buffer-name form
+    multiset_digest: str         # sha256 of sorted committed-red keys
+    commit_digest: str           # sha256 of commit stream in commit order
+    steps: int
+    warps: int
+    kernels: int
+    red_commits: int
+
+    def run_digest(self) -> str:
+        """One digest over everything a replay must reproduce."""
+        h = hashlib.sha256()
+        h.update(self.mem_digest.encode())
+        h.update(self.multiset_digest.encode())
+        h.update(self.commit_digest.encode())
+        h.update(repr(self.decisions).encode())
+        h.update(repr(self.enabled_log).encode())
+        h.update(str(self.steps).encode())
+        return h.hexdigest()
+
+
+class _MCGPU:
+    """Per-interleaving executor: the oracle's functional core, with
+    the warp schedule delegated to a :class:`ScheduleController`."""
+
+    def __init__(self, mem: GlobalMemory, controller: ScheduleController,
+                 model: str, warp_size: int = 32,
+                 step_budget: int = DEFAULT_STEP_BUDGET,
+                 max_warps: int = MC_MAX_WARPS):
+        if model not in _MODELS:
+            raise ValueError(f"unknown commit model {model!r}")
+        self.mem = mem
+        self.controller = controller
+        self.model = model
+        self.warp_size = warp_size
+        self.step_budget = step_budget
+        self.max_warps = max_warps
+        self.max_cycles: Optional[int] = None  # accepted, ignored
+        self._queue: List[Kernel] = []
+        self._next_uid = 0
+        self._pending = []           # deferred reds ("dab" model)
+        self.moves: List[MoveRecord] = []
+        self.steps = 0
+        self.kernels = 0
+
+    # -- driver surface (what Workload.drive needs) ----------------------
+    def launch(self, kernel: Kernel) -> None:
+        self._queue.append(kernel)
+
+    def run(self, max_cycles: Optional[int] = None) -> SimResult:
+        while self._queue:
+            self._run_kernel(self._queue.pop(0), self.kernels)
+            self.kernels += 1
+        return SimResult(
+            label=f"mc-{self.model}",
+            cycles=0,
+            instructions=self.steps,
+            atomics=0,
+            kernels=self.kernels,
+            mem_digest=self.mem.snapshot_digest(),
+        )
+
+    # -- execution -------------------------------------------------------
+    def _run_kernel(self, kernel: Kernel, kernel_idx: int) -> None:
+        warps: List[Warp] = []
+        warps_per_cta = -(-kernel.cta_dim // self.warp_size)
+        n_warps = kernel.grid_dim * warps_per_cta
+        if n_warps > self.max_warps:
+            raise MCError(
+                f"kernel {kernel.name!r} has {n_warps} warps; exhaustive "
+                f"exploration is capped at {self.max_warps} (the schedule "
+                f"space is exponential in visible ops)")
+        for cta_id in range(kernel.grid_dim):
+            cta = CTA(kernel, cta_id)
+            for w in range(warps_per_cta):
+                warp = Warp(uid=self._next_uid, cta=cta, warp_id_in_cta=w,
+                            warp_size=self.warp_size)
+                warp.capture_addrs = True
+                self._next_uid += 1
+                warps.append(warp)
+        by_uid = {w.uid: w for w in warps}
+
+        while not all(w.done for w in warps):
+            enabled = tuple(w.uid for w in warps
+                            if not w.done and not w.at_barrier)
+            if not enabled:
+                raise MCError(
+                    f"kernel {kernel.name!r}: no runnable warp "
+                    f"(mismatched barriers?)")
+            pick = self.controller.choose(enabled)
+            move = self._run_move(by_uid[pick], kernel_idx)
+            self.moves.append(move)
+            if move.kind == "bar":
+                self._complete_barriers(warps)
+        self._apply_pending()  # kernel end is a synchronization point
+
+    def _run_move(self, warp: Warp, kernel_idx: int) -> MoveRecord:
+        """Run ``warp`` up to and including its next visible operation."""
+        while True:
+            result = warp.step(self.mem)
+            self.steps += 1
+            if self.steps > self.step_budget:
+                raise MCError(
+                    f"step budget {self.step_budget} exhausted — "
+                    f"spin/livelock is outside the model checker's scope")
+            spec = result.mem
+            if spec is not None:
+                addrs = tuple(sorted(set(int(a) for a in spec.addrs)))
+                if spec.kind == "load":
+                    return MoveRecord(warp.uid, "load", addrs, False, False,
+                                      kernel_idx)
+                if spec.kind == "store":
+                    return MoveRecord(warp.uid, "store", addrs, True, False,
+                                      kernel_idx)
+                if spec.kind == "red":
+                    if self.model == "dab":
+                        self._pending.extend(spec.red_ops)
+                    else:
+                        for op in spec.red_ops:  # commit at issue, lane order
+                            self.mem.apply_atomic(op)
+                    return MoveRecord(warp.uid, "red", addrs, True, False,
+                                      kernel_idx)
+                if spec.kind == "atom":
+                    # Returning atomics feed results back into registers;
+                    # both models apply them at issue in lane order.
+                    for lane, op in spec.atom_ops:
+                        old = self.mem.apply_atomic(op)
+                        if spec.atom_dst:
+                            warp.write_atom_result(spec.atom_dst, lane, old)
+                    return MoveRecord(warp.uid, "atom", addrs, True, False,
+                                      kernel_idx)
+            if result.fence:
+                self._apply_pending()
+                return MoveRecord(warp.uid, "fence", (), False, True,
+                                  kernel_idx)
+            if result.barrier:
+                warp.at_barrier = True
+                return MoveRecord(warp.uid, "bar", (), False, True,
+                                  kernel_idx)
+            if warp.done:
+                return MoveRecord(warp.uid, "local", (), False, False,
+                                  kernel_idx)
+
+    def _complete_barriers(self, warps: List[Warp]) -> None:
+        """Eagerly release every CTA whose live warps all arrived.
+
+        Completion is forced (it happens within the arriving move that
+        filled the barrier), which pins the deferred-commit flush to
+        that move — and barrier moves conflict with every memory move,
+        so DPOR still explores all orderings of flush vs reductions.
+        """
+        by_cta: Dict[int, List[Warp]] = {}
+        for w in warps:
+            if not w.done:
+                by_cta.setdefault(w.cta.cta_id, []).append(w)
+        for group in by_cta.values():
+            if group and all(w.at_barrier for w in group):
+                self._apply_pending()
+                for w in group:
+                    w.at_barrier = False
+
+    def _apply_pending(self) -> None:
+        """Commit deferred reductions in canonical order (oracle-identical)."""
+        if not self._pending:
+            return
+        self._pending.sort(key=canonical_op_key)
+        for op in self._pending:
+            self.mem.apply_atomic(op)
+        self._pending.clear()
+
+
+def run_interleaving(ref, model: str, controller: ScheduleController,
+                     step_budget: int = DEFAULT_STEP_BUDGET,
+                     max_warps: int = MC_MAX_WARPS) -> MCRun:
+    """Execute one interleaving of a workload from scratch."""
+    workload = ref()
+    rec = CommitRecorder()
+    workload.mem.commit_log = rec
+    gpu = _MCGPU(workload.mem, controller, model,
+                 step_budget=step_budget, max_warps=max_warps)
+    workload.drive(gpu)
+    if gpu._queue:  # pragma: no cover - defensive
+        raise MCError("driver left kernels queued without run()")
+    controller.finish()
+
+    mem = workload.mem
+    h = hashlib.sha256()
+    for name in sorted(mem.buffer_names()):
+        h.update(name.encode())
+        h.update(mem.buffer(name).tobytes())
+    mem_digest = h.hexdigest()
+
+    reds = rec.reductions()
+    keys = [canonical_op_key(op) for op in reds]
+    commit_digest = hashlib.sha256(repr(keys).encode()).hexdigest()
+    multiset_digest = hashlib.sha256(repr(sorted(keys)).encode()).hexdigest()
+
+    return MCRun(
+        decisions=tuple(controller.decisions),
+        enabled_log=tuple(controller.enabled_log),
+        moves=tuple(gpu.moves),
+        mem_digest=mem_digest,
+        multiset_digest=multiset_digest,
+        commit_digest=commit_digest,
+        steps=gpu.steps,
+        warps=gpu._next_uid,
+        kernels=gpu.kernels,
+        red_commits=len(reds),
+    )
+
+
+# ----------------------------------------------------------------------
+# DPOR race analysis.
+# ----------------------------------------------------------------------
+
+def find_races(moves: Sequence[MoveRecord]) -> List[Tuple[int, int]]:
+    """Racing move pairs: conflicting, different warps, and *not*
+    happens-before-ordered through intermediate moves.
+
+    Happens-before is the transitive closure of program order plus the
+    order of conflicting moves.  A conflicting pair already ordered via
+    a chain through other moves is not reversible and seeds no
+    backtrack point.  Quadratic state over at most a few dozen moves.
+    """
+    n = len(moves)
+    direct: List[List[int]] = []        # direct HB-edge sources per move
+    preds: List[set] = []               # full HB predecessor sets
+    last_of_warp: Dict[int, int] = {}
+    races: List[Tuple[int, int]] = []
+    for j in range(n):
+        mj = moves[j]
+        dj = []
+        prev = last_of_warp.get(mj.warp)
+        if prev is not None:
+            dj.append(prev)             # program order
+        for i in range(j):
+            mi = moves[i]
+            if mi.warp != mj.warp and _conflicts(mi, mj):
+                dj.append(i)
+        p: set = set()
+        for i in dj:
+            p.add(i)
+            p |= preds[i]
+        for i in dj:
+            mi = moves[i]
+            if mi.warp == mj.warp or not _conflicts(mi, mj):
+                continue
+            if any(k != i and i in preds[k] for k in dj):
+                continue                # ordered through a chain already
+            races.append((i, j))
+        direct.append(dj)
+        preds.append(p)
+        last_of_warp[mj.warp] = j
+    return races
+
+
+# ----------------------------------------------------------------------
+# Exploration (stateless DFS, optionally DPOR-pruned).
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Node:
+    """One depth of the current DFS path."""
+
+    enabled: Tuple[int, ...]
+    backtrack: set
+    done: set = field(default_factory=set)
+
+
+@dataclass
+class Exploration:
+    """Everything one (model, strategy) exploration proved."""
+
+    model: str                   # "dab" | "baseline"
+    strategy: str                # "dpor" | "brute"
+    interleavings: int
+    #: distinct terminal memory digests -> earliest witness trace.
+    mem_digests: Dict[str, Tuple[int, ...]]
+    #: distinct committed-reduction multiset digests -> witness trace.
+    multiset_digests: Dict[str, Tuple[int, ...]]
+    warps: int
+    max_moves: int
+    steps: int
+    red_commits: int
+
+    @property
+    def deterministic(self) -> bool:
+        return (len(self.mem_digests) == 1
+                and len(self.multiset_digests) == 1)
+
+    def to_doc(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "strategy": self.strategy,
+            "interleavings": self.interleavings,
+            "deterministic": self.deterministic,
+            "mem_digests": sorted(self.mem_digests),
+            "multiset_digests": sorted(self.multiset_digests),
+            "warps": self.warps,
+            "max_moves": self.max_moves,
+            "red_commits": self.red_commits,
+        }
+
+
+def explore(ref, model: str, dpor: bool = True,
+            max_interleavings: int = DEFAULT_MAX_INTERLEAVINGS,
+            step_budget: int = DEFAULT_STEP_BUDGET,
+            max_warps: int = MC_MAX_WARPS) -> Exploration:
+    """Exhaustively explore all legal interleavings of one workload.
+
+    Stateless DFS: every branch re-executes from scratch following a
+    decision prefix.  With ``dpor``, backtrack sets start as the chosen
+    decision and grow from race analysis; without, every enabled warp
+    at every node is explored (brute force).  Raises :class:`MCError`
+    when ``max_interleavings`` is hit — an exhausted budget is not a
+    proof, so there is no partial result to return.
+    """
+    nodes: List[_Node] = []
+    prefix: List[int] = []
+    mem_digests: Dict[str, Tuple[int, ...]] = {}
+    multiset_digests: Dict[str, Tuple[int, ...]] = {}
+    interleavings = 0
+    steps = 0
+    max_moves = 0
+    warps = 0
+    red_commits = 0
+
+    while True:
+        if interleavings >= max_interleavings:
+            raise MCError(
+                f"exploration budget of {max_interleavings} interleavings "
+                f"exhausted before the schedule tree was covered — "
+                f"no partial certification is possible")
+        controller = ScheduleController(prefix=prefix)
+        run = run_interleaving(ref, model, controller,
+                               step_budget=step_budget, max_warps=max_warps)
+        interleavings += 1
+        steps += run.steps
+        max_moves = max(max_moves, len(run.decisions))
+        warps = max(warps, run.warps)
+        red_commits = max(red_commits, run.red_commits)
+        mem_digests.setdefault(run.mem_digest, run.decisions)
+        multiset_digests.setdefault(run.multiset_digest, run.decisions)
+
+        decisions = run.decisions
+        # The executor must be deterministic modulo the decision trace:
+        # re-running a prefix must reproduce its enabled sets exactly.
+        for d in range(len(nodes)):
+            if nodes[d].enabled != run.enabled_log[d]:
+                raise MCError(
+                    f"nondeterministic executor: enabled set at decision "
+                    f"{d} changed across runs ({nodes[d].enabled} vs "
+                    f"{run.enabled_log[d]})")
+        for d in range(len(nodes), len(decisions)):
+            en = run.enabled_log[d]
+            nodes.append(_Node(
+                enabled=en,
+                backtrack={decisions[d]} if dpor else set(en)))
+
+        if dpor:
+            for i, j in find_races(run.moves):
+                node = nodes[i]
+                target = run.moves[j].warp
+                if target in node.enabled:
+                    node.backtrack.add(target)
+                else:
+                    node.backtrack.update(node.enabled)
+
+        # Backtrack to the deepest node with an unexplored choice.
+        next_prefix: Optional[List[int]] = None
+        d = len(decisions) - 1
+        while d >= 0:
+            nodes[d].done.add(decisions[d])
+            pending = [u for u in sorted(nodes[d].backtrack)
+                       if u not in nodes[d].done]
+            if pending:
+                next_prefix = list(decisions[:d]) + [pending[0]]
+                del nodes[d + 1:]
+                break
+            del nodes[d:]
+            d -= 1
+        if next_prefix is None:
+            break
+        prefix = next_prefix
+
+    return Exploration(
+        model=model,
+        strategy="dpor" if dpor else "brute",
+        interleavings=interleavings,
+        mem_digests=mem_digests,
+        multiset_digests=multiset_digests,
+        warps=warps,
+        max_moves=max_moves,
+        steps=steps,
+        red_commits=red_commits,
+    )
+
+
+# ----------------------------------------------------------------------
+# Witnesses and certificates.
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DivergenceWitness:
+    """Two replayable schedules proving one model non-deterministic.
+
+    ``verified`` is True only if both traces were re-executed (strict
+    replay) and reproduced their digests — a witness is evidence, so it
+    is checked before it is reported.  Frozen and pickle-clean: it must
+    survive the sweep engine's worker boundary intact.
+    """
+
+    workload: str
+    model: str
+    digest_a: str
+    digest_b: str
+    trace_a: Tuple[int, ...]
+    trace_b: Tuple[int, ...]
+    replay_a: str = ""
+    replay_b: str = ""
+
+    @property
+    def verified(self) -> bool:
+        return (self.digest_a != self.digest_b
+                and self.replay_a == self.digest_a
+                and self.replay_b == self.digest_b)
+
+    def render(self) -> str:
+        mark = "verified" if self.verified else "UNVERIFIED"
+        return (f"{self.workload} [{self.model}] diverges ({mark}): "
+                f"schedule {list(self.trace_a)} -> {self.digest_a[:16]}… "
+                f"vs {list(self.trace_b)} -> {self.digest_b[:16]}…")
+
+    def to_doc(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "model": self.model,
+            "verified": self.verified,
+            "digest_a": self.digest_a,
+            "digest_b": self.digest_b,
+            "trace_a": list(self.trace_a),
+            "trace_b": list(self.trace_b),
+        }
+
+
+def _make_witness(workload: str, ref, model: str,
+                  exploration: Exploration,
+                  step_budget: int,
+                  max_warps: int) -> DivergenceWitness:
+    """Build and replay-verify a witness from a diverging exploration."""
+    digests = sorted(exploration.mem_digests)
+    a, b = digests[0], digests[1]
+    trace_a = exploration.mem_digests[a]
+    trace_b = exploration.mem_digests[b]
+    replays = []
+    for trace in (trace_a, trace_b):
+        run = run_interleaving(
+            ref, model, ScheduleController(prefix=trace, strict=True),
+            step_budget=step_budget, max_warps=max_warps)
+        replays.append(run.mem_digest)
+    return DivergenceWitness(
+        workload=workload, model=model,
+        digest_a=a, digest_b=b,
+        trace_a=trace_a, trace_b=trace_b,
+        replay_a=replays[0], replay_b=replays[1],
+    )
+
+
+@dataclass
+class MCReport:
+    """Certification outcome for one model-checked workload."""
+
+    workload: str
+    preset: str
+    racy: bool
+    baseline_diverges_expected: bool
+    dab: Exploration
+    baseline: Exploration
+    oracle_mem_digest: str
+    oracle_multiset_digest: str
+    brute: Dict[str, Exploration] = field(default_factory=dict)
+    witnesses: Dict[str, DivergenceWitness] = field(default_factory=dict)
+    mismatches: List[Mismatch] = field(default_factory=list)
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def as_expected(self) -> bool:
+        """Did the checker's verdict match the preset's expectation?"""
+        return not self.problems
+
+    @property
+    def ok(self) -> bool:
+        """Certified deterministic (the positive verdict).
+
+        A racy preset is never ``ok`` — its *expected* outcome is a
+        proven divergence (``as_expected``), mirroring how the DRF
+        negative control exits non-zero while validating the tool.
+        """
+        return self.as_expected and not self.racy
+
+    def verdict(self) -> str:
+        if self.problems:
+            return f"BROKEN ({len(self.problems)} problem(s))"
+        if self.racy:
+            return (f"NONDETERMINISTIC as expected (racy control, "
+                    f"{len(self.dab.mem_digests)} dab outcomes, "
+                    f"witness verified)")
+        base = (f"baseline diverges ({len(self.baseline.mem_digests)} "
+                f"outcomes, witness verified)"
+                if self.baseline_diverges_expected
+                else "baseline converges (associative control)")
+        return (f"DETERMINISTIC: proved over {self.dab.interleavings} "
+                f"dab interleavings ({self.dab.strategy}); {base}")
+
+    def render(self) -> str:
+        lines = [f"{self.preset}: {self.verdict()}"]
+        lines.append(
+            f"  dab      {self.dab.interleavings:6d} interleavings "
+            f"({self.dab.strategy}), {len(self.dab.mem_digests)} "
+            f"digest(s), {len(self.dab.multiset_digests)} multiset(s), "
+            f"{self.dab.warps} warps, {self.dab.max_moves} moves")
+        lines.append(
+            f"  baseline {self.baseline.interleavings:6d} interleavings "
+            f"({self.baseline.strategy}), "
+            f"{len(self.baseline.mem_digests)} digest(s), "
+            f"{len(self.baseline.multiset_digests)} multiset(s)")
+        for model, ex in sorted(self.brute.items()):
+            lines.append(
+                f"  brute[{model}] {ex.interleavings} interleavings, "
+                f"{len(ex.mem_digests)} digest(s) — cross-check")
+        for _model, w in sorted(self.witnesses.items()):
+            lines.append("  witness " + w.render())
+        for m in self.mismatches:
+            lines.append("  ! " + m.render())
+        for p in self.problems:
+            lines.append("  PROBLEM " + p)
+        return "\n".join(lines)
+
+    def to_doc(self) -> Dict[str, object]:
+        return {
+            "schema": "repro.mc/v1",
+            "workload": self.workload,
+            "preset": self.preset,
+            "ok": self.ok,
+            "as_expected": self.as_expected,
+            "verdict": self.verdict(),
+            "expect": {
+                "racy": self.racy,
+                "baseline_diverges": self.baseline_diverges_expected,
+            },
+            "oracle": {
+                "mem_digest": self.oracle_mem_digest,
+                "multiset_digest": self.oracle_multiset_digest,
+            },
+            "models": {
+                "dab": self.dab.to_doc(),
+                "baseline": self.baseline.to_doc(),
+            },
+            "brute": {m: ex.to_doc() for m, ex in sorted(self.brute.items())}
+                     or None,
+            "witnesses": {m: w.to_doc()
+                          for m, w in sorted(self.witnesses.items())}
+                         or None,
+            "mismatches": [m.to_doc() for m in self.mismatches],
+            "problems": list(self.problems),
+        }
+
+
+def _oracle_multiset_digest(oracle: OracleResult) -> str:
+    keys = sorted(canonical_op_key(op) for op in oracle.red_ops)
+    return hashlib.sha256(repr(keys).encode()).hexdigest()
+
+
+def _memory_image(ref, model: str, trace: Tuple[int, ...],
+                  step_budget: int, max_warps: int):
+    """Re-run one interleaving keeping the final buffer images."""
+    workload = ref()
+    gpu = _MCGPU(workload.mem, ScheduleController(prefix=trace, strict=True),
+                 model, step_budget=step_budget, max_warps=max_warps)
+    workload.drive(gpu)
+    mem = workload.mem
+    return {n: mem.buffer(n).copy() for n in mem.buffer_names()}
+
+
+def certify_mc(
+    name: str,
+    dpor: bool = True,
+    brute: bool = False,
+    max_interleavings: int = DEFAULT_MAX_INTERLEAVINGS,
+    step_budget: int = DEFAULT_STEP_BUDGET,
+    max_warps: int = MC_MAX_WARPS,
+) -> MCReport:
+    """Model-check one preset micro-kernel; return its certificate.
+
+    Explores every legal interleaving under both commit models and
+    proves (or refutes, with a verified witness) determinism of each.
+    ``brute=True`` additionally re-explores without DPOR pruning and
+    cross-checks that the pruned search reached the same terminal-state
+    sets — the soundness check CI runs on at least one kernel.
+    """
+    policy = _mc_policy(name)
+    ref = policy.ref
+    oracle = run_oracle(ref)
+    oracle_mem = oracle.memory_digest()
+    oracle_multiset = _oracle_multiset_digest(oracle)
+
+    kwargs = dict(max_interleavings=max_interleavings,
+                  step_budget=step_budget, max_warps=max_warps)
+    dab = explore(ref, "dab", dpor=dpor, **kwargs)
+    baseline = explore(ref, "baseline", dpor=dpor, **kwargs)
+
+    report = MCReport(
+        workload=ref.factory,
+        preset=name,
+        racy=policy.racy,
+        baseline_diverges_expected=policy.baseline_diverges,
+        dab=dab,
+        baseline=baseline,
+        oracle_mem_digest=oracle_mem,
+        oracle_multiset_digest=oracle_multiset,
+    )
+
+    # Witnesses for every diverging model, replay-verified.
+    for model, ex in (("dab", dab), ("baseline", baseline)):
+        if len(ex.mem_digests) > 1:
+            w = _make_witness(name, ref, model, ex, step_budget, max_warps)
+            report.witnesses[model] = w
+            if not w.verified:
+                report.problems.append(
+                    f"{model} divergence witness failed replay "
+                    f"verification")
+
+    if policy.racy:
+        if len(dab.mem_digests) < 2:
+            report.problems.append(
+                "racy control: expected divergence under deferred commit, "
+                "but every interleaving agreed — the checker lost "
+                "schedules or the race is gone")
+        if len(baseline.mem_digests) < 2:
+            report.problems.append(
+                "racy control: expected divergence under immediate commit, "
+                "but every interleaving agreed")
+    else:
+        if len(dab.mem_digests) > 1:
+            report.problems.append(
+                f"dab commit is schedule-dependent: "
+                f"{len(dab.mem_digests)} distinct memory images")
+        if len(dab.multiset_digests) > 1:
+            report.problems.append(
+                f"dab reduction multiset is schedule-dependent: "
+                f"{len(dab.multiset_digests)} distinct multisets")
+        if len(baseline.multiset_digests) > 1:
+            report.problems.append(
+                "baseline *issued* reduction multiset is "
+                "schedule-dependent — operands leaked schedule state "
+                "(program is not DRF?)")
+        if len(dab.mem_digests) == 1:
+            digest = next(iter(dab.mem_digests))
+            if digest != oracle_mem:
+                report.problems.append(
+                    "dab terminal memory differs from the reference "
+                    "oracle image")
+                sim_mem = _memory_image(ref, "dab",
+                                        next(iter(dab.mem_digests.values())),
+                                        step_budget, max_warps)
+                report.mismatches.extend(compare_memory(
+                    name, "mc-dab", oracle, sim_mem,
+                    WorkloadPolicy(ref=ref), oracle.red_summary()))
+        if len(dab.multiset_digests) == 1 \
+                and next(iter(dab.multiset_digests)) != oracle_multiset:
+            report.problems.append(
+                "dab committed-reduction multiset differs from the "
+                "oracle's issued multiset")
+        diverged = len(baseline.mem_digests) > 1
+        if diverged and not policy.baseline_diverges:
+            report.problems.append(
+                "baseline diverged on an associative workload "
+                "(integer reductions must not be order-sensitive)")
+        if not diverged and policy.baseline_diverges:
+            report.problems.append(
+                "baseline failed to diverge: expected schedule-dependent "
+                "fp32 commit order to change the rounded result")
+
+    if brute:
+        for model, pruned in (("dab", dab), ("baseline", baseline)):
+            full = explore(ref, model, dpor=False, **kwargs)
+            report.brute[model] = full
+            if set(full.mem_digests) != set(pruned.mem_digests):
+                report.problems.append(
+                    f"DPOR pruning lost terminal states under {model}: "
+                    f"{len(pruned.mem_digests)} pruned vs "
+                    f"{len(full.mem_digests)} brute-force digests")
+            if set(full.multiset_digests) != set(pruned.multiset_digests):
+                report.problems.append(
+                    f"DPOR pruning lost commit multisets under {model}")
+            if pruned.interleavings > full.interleavings:
+                report.problems.append(
+                    f"DPOR explored more interleavings than brute force "
+                    f"under {model} ({pruned.interleavings} > "
+                    f"{full.interleavings})")
+
+    return report
+
+
+def _mc_policy(name: str) -> MCWorkloadPolicy:
+    try:
+        return MC_WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model-checking workload {name!r}; "
+            f"known: {', '.join(MC_WORKLOADS)}") from None
+
+
+def _certify_task(args) -> MCReport:
+    name, dpor, brute, max_interleavings, step_budget, max_warps = args
+    return certify_mc(name, dpor=dpor, brute=brute,
+                      max_interleavings=max_interleavings,
+                      step_budget=step_budget, max_warps=max_warps)
+
+
+def certify_many(
+    names: Optional[Sequence[str]] = None,
+    dpor: bool = True,
+    brute: bool = False,
+    jobs: int = 1,
+    max_interleavings: int = DEFAULT_MAX_INTERLEAVINGS,
+    step_budget: int = DEFAULT_STEP_BUDGET,
+    max_warps: int = MC_MAX_WARPS,
+) -> List[MCReport]:
+    """Certify several presets; ``jobs > 1`` fans out over processes.
+
+    Parallelism is across *workloads* only — each exploration is a
+    sequential DFS — so per-workload interleaving counts are identical
+    at every jobs level (pinned by the property tests).  Reports come
+    back in input order.  Racy negative controls run only when named
+    explicitly, mirroring ``certify_all``'s treatment of hostile
+    workloads.
+    """
+    if names:
+        names = list(names)
+        unknown = [n for n in names if n not in MC_WORKLOADS]
+        if unknown:
+            raise ValueError(
+                f"unknown model-checking workload(s) {unknown}; "
+                f"known: {', '.join(MC_WORKLOADS)}")
+    else:
+        names = [n for n, p in MC_WORKLOADS.items() if not p.racy]
+    tasks = [(n, dpor, brute, max_interleavings, step_budget, max_warps)
+             for n in names]
+    if jobs <= 1 or len(names) <= 1:
+        return [_certify_task(t) for t in tasks]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+        return list(pool.map(_certify_task, tasks))
+
+
+def write_certificates(reports: Sequence[MCReport], cert_dir) -> List[str]:
+    """Write one ``repro.mc/v1`` JSON certificate per report."""
+    import os
+
+    os.makedirs(cert_dir, exist_ok=True)
+    paths = []
+    for report in reports:
+        path = os.path.join(cert_dir, f"{report.preset}.mc.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(report.to_doc(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        paths.append(path)
+    return paths

@@ -153,3 +153,58 @@ def diff_archs() -> Tuple[ArchSpec, ...]:
 CERT_WORKLOADS: Dict[str, WorkloadRef] = {
     name: policy.ref for name, policy in DIFF_WORKLOADS.items()
 }
+
+
+# ----------------------------------------------------------------------
+# Model-checking presets (repro.check.mc).
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MCWorkloadPolicy:
+    """One model-checking micro-kernel plus its expected verdict.
+
+    Unlike the diff matrix, which compares a *sampled* run against the
+    oracle, the model checker enumerates every legal warp interleaving —
+    so sizes here are tiny by design (2–3 warps; the interleaving count
+    is exponential in visible operations).  Every preset still runs the
+    same kernels, ISA and memory model as the full-size variants.
+
+    ``baseline_diverges``
+        Whether immediate (baseline-order) commit is expected to produce
+        more than one bitwise result across interleavings.  True for
+        floating-point reductions (non-associative), False for the
+        integer histogram — the associativity control that pins *why*
+        the baseline diverges.
+
+    ``racy``
+        Negative control: the program carries a data race, so *no*
+        commit discipline can make it deterministic — the checker must
+        find divergence under both models and emit a witness.
+    """
+
+    ref: WorkloadRef
+    baseline_diverges: bool = True
+    racy: bool = False
+
+
+#: Model-checked micro-kernels: name -> policy.  ``lock_sum_racy`` is
+#: the distilled twin of the diff matrix's racy lock workload (same
+#: unsynchronized read-modify-write, spin loop elided — spinning makes
+#: the interleaving space unbounded; see build_mc_racy).
+MC_WORKLOADS: Dict[str, MCWorkloadPolicy] = {
+    "mc_sum2": MCWorkloadPolicy(
+        WorkloadRef("order_sensitive", kwargs={"n": 64, "cta_dim": 32})),
+    "mc_sum3": MCWorkloadPolicy(
+        WorkloadRef("order_sensitive", kwargs={"n": 96, "cta_dim": 32})),
+    "mc_hist2": MCWorkloadPolicy(
+        WorkloadRef("histogram", kwargs={"n": 64, "bins": 8, "cta_dim": 32}),
+        baseline_diverges=False),
+    "mc_scatter2": MCWorkloadPolicy(
+        WorkloadRef("multi_target", kwargs={"n": 64, "targets": 2,
+                                            "cta_dim": 32})),
+    "mc_barrier2": MCWorkloadPolicy(
+        WorkloadRef("mc_barrier", kwargs={"n": 64})),
+    "lock_sum_racy": MCWorkloadPolicy(
+        WorkloadRef("mc_racy", kwargs={"n": 2}),
+        racy=True),
+}

@@ -32,12 +32,14 @@ from repro.faults.plan import (
     FaultConfig,
     FaultInjector,
     FaultPlan,
+    ScheduleSeam,
 )
 
 __all__ = [
     "FaultConfig",
     "FaultInjector",
     "FaultPlan",
+    "ScheduleSeam",
     "InvariantChecker",
     "InvariantConfig",
     "InvariantViolation",

@@ -59,6 +59,17 @@ class InvariantViolation(RuntimeError):
             msg += f" (active fault: {fault})"
         super().__init__(msg)
 
+    def __reduce__(self):
+        # Default exception pickling replays ``cls(*args)`` with
+        # ``args == (msg,)``, which does not match this __init__ — the
+        # sweep engine's worker boundary would then flatten structured
+        # blame into a bare traceback string.  Rebuild from the
+        # structured fields instead so violations cross process
+        # boundaries intact.
+        return (InvariantViolation,
+                (self.invariant, self.cycle, self.unit, self.detail,
+                 self.fault))
+
 
 @dataclass(frozen=True)
 class InvariantConfig:

@@ -250,7 +250,59 @@ class FaultPlan:
         ))
 
 
-class FaultInjector:
+class ScheduleSeam:
+    """Base class for everything that perturbs *when* and *in what order*.
+
+    The simulator (and the model checker's per-interleaving executor)
+    expose two hook families through this seam:
+
+    * :meth:`deliver_at` — the message-delivery seam.  Subclasses delay
+      individual deliveries via :meth:`delay_for`; the base class
+      enforces the hardware-FIFO contract that messages on one
+      ``(src, dst)`` channel never overtake each other, whatever the
+      subclass chooses.
+    * :meth:`choose` — the scheduling-decision seam.  Given a non-empty
+      ordered tuple of runnable units, pick which advances next.
+
+    The base class is the *identity* seam: no delay beyond FIFO clock
+    enforcement and always the first option.  :class:`FaultInjector`
+    subclasses it to inject seeded chaos;
+    :class:`repro.check.mc.ScheduleController` subclasses it to record
+    and replay decision traces for exhaustive interleaving exploration —
+    one contract, two drivers.
+    """
+
+    def __init__(self) -> None:
+        #: per-(src, dst) delivery clock: preserves point-to-point order.
+        self._last_delivery: Dict[Tuple[int, int], int] = {}
+
+    # -- message-delivery seam ------------------------------------------
+    def delay_for(self, src: int, dst: int, when: int) -> int:
+        """Extra delivery delay for one message (identity: none)."""
+        return 0
+
+    def deliver_at(self, src: int, dst: int, when: int) -> int:
+        """Delivery cycle for one message sent at ``when``.
+
+        Messages from *different* sources to the same destination may be
+        reordered arbitrarily by a subclass; messages on one (src, dst)
+        channel never overtake each other (hardware FIFO channels),
+        enforced here by a per-channel delivery clock.
+        """
+        t = when + self.delay_for(src, dst, when)
+        last = self._last_delivery.get((src, dst), 0)
+        if t < last:
+            t = last
+        self._last_delivery[(src, dst)] = t
+        return t
+
+    # -- scheduling-decision seam ---------------------------------------
+    def choose(self, options: Tuple[int, ...]) -> int:
+        """Pick which runnable unit advances next (identity: the first)."""
+        return options[0]
+
+
+class FaultInjector(ScheduleSeam):
     """Live injector state for one simulation run.
 
     Stateful (burst counters, delivery clocks, RNG cursors) but a pure
@@ -259,6 +311,7 @@ class FaultInjector:
     """
 
     def __init__(self, seed: int, config: FaultConfig):
+        super().__init__()
         self.seed = _check_seed(seed)
         self.config = config
         self._icnt_rng = np.random.default_rng([self.seed, SITE_ICNT])
@@ -267,8 +320,6 @@ class FaultInjector:
         self._corrupt_rng = np.random.default_rng([self.seed, SITE_CORRUPT])
         self._dram_rng: Dict[int, np.random.Generator] = {}
         self._dram_burst_left: Dict[int, int] = {}
-        #: per-(src, dst) delivery clock: preserves point-to-point order.
-        self._last_delivery: Dict[Tuple[int, int], int] = {}
         self._stalls: Dict[int, Tuple[Tuple[int, int], ...]] = {}
         self._stall_starts: Dict[int, List[int]] = {}
         #: injected-fault tally per kind (reported in SimResult.extra).
@@ -324,27 +375,20 @@ class FaultInjector:
         return 0
 
     # -- adversarial message reordering ---------------------------------
-    def deliver_at(self, src: int, dst: int, when: int) -> int:
-        """Adversarially delay one message's delivery cycle.
+    def delay_for(self, src: int, dst: int, when: int) -> int:
+        """Adversarial extra delay for one message's delivery.
 
-        Messages from *different* sources to the same destination may be
-        reordered arbitrarily; messages on one (src, dst) channel never
-        overtake each other (hardware FIFO channels), enforced by a
-        per-channel delivery clock.
+        The FIFO point-to-point contract is enforced by the
+        :class:`ScheduleSeam` base; this hook only draws the delay.
         """
         cfg = self.config
-        t = when
         if cfg.reorder_prob > 0.0 and cfg.reorder_max_delay > 0 \
                 and self._reorder_rng.random() < cfg.reorder_prob:
-            t = when + int(
+            self.counts["reorder"] += 1
+            return int(
                 self._reorder_rng.integers(1, cfg.reorder_max_delay + 1)
             )
-            self.counts["reorder"] += 1
-        last = self._last_delivery.get((src, dst), 0)
-        if t < last:
-            t = last
-        self._last_delivery[(src, dst)] = t
-        return t
+        return 0
 
     # -- transient partition stalls -------------------------------------
     def stall_windows_for(self, partition: int) -> Tuple[Tuple[int, int], ...]:

@@ -106,6 +106,8 @@ from repro.workloads.locks import build_lock_sum, build_lock_sum_racy
 from repro.workloads.microbench import (
     build_atomic_sum,
     build_histogram,
+    build_mc_barrier,
+    build_mc_racy,
     build_multi_target,
     build_order_sensitive,
 )
@@ -174,6 +176,9 @@ WORKLOAD_FACTORIES: Dict[str, Callable[..., Workload]] = {
     "order_sensitive": build_order_sensitive,
     "histogram": build_histogram,
     "multi_target": build_multi_target,
+    # Model-checking micro-kernels (repro.check.mc presets).
+    "mc_barrier": build_mc_barrier,
+    "mc_racy": build_mc_racy,
     # Hostile negative controls (resilience layer) — harmless unless
     # invoked; see repro.workloads.hostile.
     "chaos_host_poison": build_chaos_poison,

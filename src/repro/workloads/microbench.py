@@ -14,6 +14,14 @@ determinism of DAB/GPUDet bit-for-bit.
 ``build_multi_target`` scatters reductions over a configurable number
 of output words with a strided pattern — a knob for contention and
 coalescing studies.
+
+``build_mc_barrier`` and ``build_mc_racy`` are model-checking
+micro-kernels (:mod:`repro.check.mc`): deliberately tiny warp counts so
+*every* legal interleaving can be enumerated.  ``mc_barrier`` exercises
+the barrier-delimited two-batch reduction pattern; ``mc_racy`` is the
+distilled unsynchronized read-modify-write race (the essence of
+``lock_sum_racy`` with the lock removed and the spin loop — which
+would make exhaustive exploration intractable — elided).
 """
 
 from __future__ import annotations
@@ -65,6 +73,30 @@ _SCATTER_PROG = assemble("""
     add.s32 r_taddr, c_out, r_toff
     red.global.add.f32 [r_taddr], r_v
 DONE:
+    exit
+""")
+
+
+_MC_BARRIER_PROG = assemble("""
+    mov.s32 r_i, %gtid
+    shl.s32 r_off, r_i, 2
+    add.s32 r_addr, c_in, r_off
+    ld.global.f32 r_v, [r_addr]
+    red.global.add.f32 [c_out], r_v
+    bar.sync
+    mul.f32 r_w, r_v, c_scale
+    red.global.add.f32 [c_out], r_w
+    exit
+""")
+
+_MC_RACY_PROG = assemble("""
+    mov.s32 r_i, %gtid
+    shl.s32 r_off, r_i, 2
+    add.s32 r_addr, c_in, r_off
+    ld.global.f32 r_v, [r_addr]
+    ld.global.f32 r_acc, [c_out]
+    add.f32 r_acc, r_acc, r_v
+    st.global.f32 [c_out], r_acc
     exit
 """)
 
@@ -193,4 +225,75 @@ def build_multi_target(
         kernels=[kernel],
         outputs=["out"],
         info={"n": n, "targets": targets, "reference_f64": refs},
+    )
+
+
+def build_mc_barrier(n: int = 64, seed: int = 3) -> Workload:
+    """Barrier-delimited two-batch reduction for the model checker.
+
+    One CTA of ``n`` threads (so the warp count is ``n / 32``): every
+    thread reduces an order-sensitive value into ``out``, joins a
+    ``bar.sync``, then reduces a scaled copy of the value into the same
+    word.  The barrier globally delimits the two reduction batches, so
+    a deterministic architecture must commit batch 1 (canonically
+    ordered) before any batch 2 op — the pattern that makes barrier
+    arrivals order-relevant for deferred commits.
+    """
+    if n < 1 or n % 32:
+        raise ValueError("mc_barrier needs a positive multiple of 32 threads")
+    rng = np.random.default_rng(seed)
+    exponents = rng.integers(-6, 7, size=n)
+    mantissa = rng.uniform(1.0, 2.0, size=n)
+    signs = rng.choice([-1.0, 1.0], size=n)
+    data = (signs * mantissa * (2.0 ** exponents)).astype(np.float32)
+    mem = GlobalMemory()
+    base_in = mem.alloc("in", n, "f32", init=data)
+    base_out = mem.alloc("out", 1, "f32")
+    kernel = Kernel(
+        "mc_barrier",
+        _MC_BARRIER_PROG,
+        grid_dim=1,
+        cta_dim=n,
+        params={"c_in": base_in, "c_out": base_out, "c_scale": 0.5},
+    )
+    return Workload(
+        name=f"mc_barrier_{n}",
+        mem=mem,
+        kernels=[kernel],
+        outputs=["out"],
+        info={"n": n},
+    )
+
+
+def build_mc_racy(n: int = 2) -> Workload:
+    """Distilled unsynchronized read-modify-write race (``n`` warps).
+
+    Each of ``n`` single-thread CTAs performs ``out += in[gtid]`` with a
+    plain load/add/store — the critical section of ``lock_sum_racy``
+    with the lock deleted.  Interleavings that separate one warp's load
+    from its store lose that warp's update, so the final value is
+    schedule-dependent under *any* commit discipline: the race breaks
+    weak determinism itself, not merely the baseline's commit order.
+    Values are distinct powers of two so every lost update yields a
+    distinct final value.
+    """
+    if n < 2:
+        raise ValueError("mc_racy needs at least two racing warps")
+    data = (2.0 ** np.arange(n)).astype(np.float32)
+    mem = GlobalMemory()
+    base_in = mem.alloc("in", n, "f32", init=data)
+    base_out = mem.alloc("out", 1, "f32")
+    kernel = Kernel(
+        "mc_racy",
+        _MC_RACY_PROG,
+        grid_dim=n,
+        cta_dim=1,
+        params={"c_in": base_in, "c_out": base_out},
+    )
+    return Workload(
+        name=f"mc_racy_{n}",
+        mem=mem,
+        kernels=[kernel],
+        outputs=["out"],
+        info={"n": n, "race_expected": True},
     )

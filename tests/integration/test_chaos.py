@@ -62,6 +62,26 @@ class TestChaosCampaign:
         assert v.unit.startswith("partition.")
         assert v.fault is not None and "drop" in v.fault
 
+    def test_violation_survives_worker_boundary(self):
+        # Same probe, but through a jobs=2 process pool: the
+        # InvariantViolation is pickled back from the worker, and the
+        # structured fields — not a flattened message or an opaque
+        # unpickling TypeError — must reach the caller.
+        specs = [
+            JobSpec(WorkloadRef("order_sensitive", kwargs={"n": 256}),
+                    ArchSpec.make_dab(), gpu=TINY,
+                    faults=FaultConfig(drop_prob=0.15), fault_seed=7,
+                    invariants=True),
+            JobSpec(WorkloadRef("atomic_sum", kwargs={"n": 64}),
+                    ArchSpec.make_dab(), gpu=TINY),
+        ]
+        with pytest.raises(InvariantViolation) as ei:
+            run_jobs(specs, jobs=2, cache=False)
+        v = ei.value
+        assert v.invariant == "flush_counts"
+        assert v.unit.startswith("partition.")
+        assert v.fault is not None and "drop" in v.fault
+
     def test_timing_chaos_preserves_dab_output(self):
         plain = run_workload(lambda: build_order_sensitive(128),
                              ArchSpec.make_dab(), gpu_config=TINY)

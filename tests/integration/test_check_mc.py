@@ -1,0 +1,200 @@
+"""End-to-end tests for the stateless model checker (repro.check.mc):
+full certification of every preset, the racy negative control, brute
+cross-checking, budget/cap refusals, certificates, and the
+``repro check mc`` CLI surface (exit codes and diagnostics)."""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.check.mc import (
+    MCError,
+    certify_many,
+    certify_mc,
+    explore,
+    write_certificates,
+)
+from repro.check.presets import MC_WORKLOADS
+from repro.harness.sweep import WorkloadRef
+
+REPO = pathlib.Path(__file__).parents[2]
+
+
+def run_cli(*argv, timeout=300):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True, timeout=timeout, env=env,
+        cwd=str(REPO),
+    )
+
+
+class TestCertification:
+    def test_all_default_presets_certify(self):
+        reports = certify_many()
+        names = [r.preset for r in reports]
+        assert names == [n for n, p in MC_WORKLOADS.items() if not p.racy]
+        for r in reports:
+            assert r.ok, r.render()
+            assert r.dab.deterministic
+            assert r.dab.interleavings >= 3
+            # The one proven DAB image is the oracle's, bit for bit.
+            assert set(r.dab.mem_digests) == {r.oracle_mem_digest}
+            assert set(r.dab.multiset_digests) == {r.oracle_multiset_digest}
+            if r.baseline_diverges_expected:
+                assert len(r.baseline.mem_digests) > 1
+                assert r.witnesses["baseline"].verified
+            else:
+                assert len(r.baseline.mem_digests) == 1
+                assert "baseline" not in r.witnesses
+
+    def test_exhaustive_proof_covers_at_least_three_kernels(self):
+        proven = [r for r in certify_many() if r.ok]
+        assert len(proven) >= 3
+
+    def test_racy_negative_control(self):
+        r = certify_mc("lock_sum_racy")
+        assert not r.ok
+        assert r.as_expected
+        assert "NONDETERMINISTIC as expected" in r.verdict()
+        for model in ("dab", "baseline"):
+            assert len(getattr(r, model).mem_digests) > 1
+            assert r.witnesses[model].verified
+        # But the *issued* multiset is schedule-dependent only through
+        # operands: the racy load/store kernel issues no reductions.
+        assert r.dab.red_commits == 0
+
+    def test_brute_force_cross_check(self):
+        r = certify_mc("mc_sum2", brute=True)
+        assert r.ok, r.render()
+        for model in ("dab", "baseline"):
+            pruned = getattr(r, model)
+            full = r.brute[model]
+            assert set(pruned.mem_digests) == set(full.mem_digests)
+            assert pruned.interleavings <= full.interleavings
+        # DPOR must actually prune something on a 2-warp sum.
+        assert r.dab.interleavings < r.brute["dab"].interleavings
+
+    def test_unknown_preset_rejected_with_vocabulary(self):
+        with pytest.raises(ValueError, match="mc_sum2"):
+            certify_mc("never_heard_of_it")
+        with pytest.raises(ValueError, match="lock_sum_racy"):
+            certify_many(["mc_sum2", "nope"])
+
+    def test_interleaving_budget_is_a_hard_refusal(self):
+        with pytest.raises(MCError, match="no partial certification"):
+            explore(MC_WORKLOADS["mc_sum3"].ref, "dab", dpor=False,
+                    max_interleavings=5)
+
+    def test_warp_cap_is_a_hard_refusal(self):
+        big = WorkloadRef("order_sensitive",
+                          kwargs={"n": 512, "cta_dim": 32})
+        with pytest.raises(MCError, match="warps"):
+            explore(big, "dab")
+
+    def test_certificates_written_with_schema(self, tmp_path):
+        reports = certify_many(["mc_sum2", "lock_sum_racy"])
+        paths = write_certificates(reports, tmp_path)
+        assert [os.path.basename(p) for p in paths] == [
+            "mc_sum2.mc.json", "lock_sum_racy.mc.json"]
+        for path, report in zip(paths, reports):
+            doc = json.loads(pathlib.Path(path).read_text())
+            assert doc["schema"] == "repro.mc/v1"
+            assert doc["preset"] == report.preset
+            assert doc["ok"] == report.ok
+            assert doc["as_expected"] is True
+            assert doc["models"]["dab"]["interleavings"] > 0
+            assert doc["oracle"]["mem_digest"]
+        racy_doc = json.loads(pathlib.Path(paths[1]).read_text())
+        assert racy_doc["ok"] is False
+        for model in ("dab", "baseline"):
+            w = racy_doc["witnesses"][model]
+            assert w["verified"] is True
+            assert w["digest_a"] != w["digest_b"]
+            assert w["trace_a"] != w["trace_b"]
+
+
+class TestExpectationMismatches:
+    """A certificate whose verdict contradicts its preset's expectation
+    must come back BROKEN with named problems — the checker checks
+    itself, not just the architecture."""
+
+    def test_diverging_kernel_declared_associative(self, monkeypatch):
+        monkeypatch.setitem(
+            MC_WORKLOADS, "_mc_wrong_assoc",
+            type(MC_WORKLOADS["mc_sum2"])(
+                MC_WORKLOADS["mc_sum2"].ref, baseline_diverges=False))
+        r = certify_mc("_mc_wrong_assoc")
+        assert not r.as_expected and not r.ok
+        assert any("associative" in p for p in r.problems)
+        assert "BROKEN" in r.verdict()
+        assert "PROBLEM" in r.render()
+
+    def test_converging_kernel_declared_diverging(self, monkeypatch):
+        monkeypatch.setitem(
+            MC_WORKLOADS, "_mc_wrong_fp",
+            type(MC_WORKLOADS["mc_hist2"])(MC_WORKLOADS["mc_hist2"].ref))
+        r = certify_mc("_mc_wrong_fp")
+        assert not r.as_expected
+        assert any("failed to diverge" in p for p in r.problems)
+
+    def test_racy_kernel_declared_clean(self, monkeypatch):
+        monkeypatch.setitem(
+            MC_WORKLOADS, "_mc_wrong_clean",
+            type(MC_WORKLOADS["lock_sum_racy"])(
+                MC_WORKLOADS["lock_sum_racy"].ref))
+        r = certify_mc("_mc_wrong_clean")
+        assert not r.as_expected
+        assert any("schedule-dependent" in p for p in r.problems)
+        # The divergence is still witnessed, even though unexpected.
+        assert r.witnesses["dab"].verified
+
+
+class TestCheckMcCLI:
+    def test_clean_run_exits_zero(self, tmp_path):
+        cert_dir = tmp_path / "certs"
+        out_json = tmp_path / "mc.json"
+        proc = run_cli("check", "mc", "--workloads", "mc_sum2,mc_hist2",
+                       "--brute", "--cert-dir", str(cert_dir),
+                       "--json", str(out_json))
+        assert proc.returncode == 0, proc.stderr
+        assert "model checking PASSED (exhaustive)" in proc.stdout
+        assert "DETERMINISTIC" in proc.stdout
+        assert "cross-check" in proc.stdout
+        docs = json.loads(out_json.read_text())
+        assert [d["preset"] for d in docs] == ["mc_sum2", "mc_hist2"]
+        assert all(d["ok"] for d in docs)
+        assert (cert_dir / "mc_sum2.mc.json").exists()
+        assert (cert_dir / "mc_hist2.mc.json").exists()
+
+    def test_racy_control_exits_one(self):
+        proc = run_cli("check", "mc", "--workloads", "lock_sum_racy")
+        assert proc.returncode == 1
+        assert "NONDETERMINISTIC as expected" in proc.stdout
+        assert "witness" in proc.stdout
+        assert "as expected for racy controls" in proc.stdout
+
+    def test_unknown_workload_diagnostic(self):
+        proc = run_cli("check", "mc", "--workloads", "nope")
+        assert proc.returncode != 0
+        assert "check mc:" in proc.stderr
+        # The diagnostic must teach the valid vocabulary.
+        assert "mc_sum2" in proc.stderr and "lock_sum_racy" in proc.stderr
+
+    def test_json_to_stdout(self):
+        proc = run_cli("check", "mc", "--workloads", "mc_sum2",
+                       "--json", "-")
+        assert proc.returncode == 0, proc.stderr
+        # The JSON array is printed between the per-preset renders and
+        # the final verdict line.
+        lines = proc.stdout.splitlines()
+        start = lines.index("[")
+        end = len(lines) - 1 - lines[::-1].index("]")
+        docs = json.loads("\n".join(lines[start:end + 1]))
+        assert docs[0]["schema"] == "repro.mc/v1"

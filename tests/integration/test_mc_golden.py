@@ -1,0 +1,65 @@
+"""Golden-snapshot regression tests for ``repro.mc/v1`` certificates.
+
+Each ``tests/golden/*.mc.json`` pins one model-checked preset's full
+certificate: exploration counts (DPOR pruning quality), terminal
+digests (the proven DAB image and the baseline's divergence set), and
+the replay-verified witness traces.  Any change to the executor, the
+conflict relation, or the DPOR backtracking shows up as a named drift
+— count by count, digest by digest — instead of a silent change in
+what "exhaustively certified" means.  ``lock_sum_racy`` pins the
+negative control: the certificate that *proves divergence* must stay a
+divergence proof.
+
+Intentional changes are re-pinned with::
+
+    python -m pytest tests/integration/test_mc_golden.py --update-golden
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.check.mc import certify_mc
+
+GOLDEN_DIR = pathlib.Path(__file__).parents[1] / "golden"
+
+#: Presets pinned by snapshot; mc_sum2 also pins the brute cross-check.
+PINNED = {
+    "mc_sum2": {"brute": True},
+    "mc_hist2": {"brute": False},
+    "lock_sum_racy": {"brute": False},
+}
+
+
+def drift_diff(golden: dict, current: dict, prefix="") -> str:
+    lines = []
+    for key in sorted(set(golden) | set(current)):
+        old, new = golden.get(key, "<absent>"), current.get(key, "<absent>")
+        if old == new:
+            continue
+        if isinstance(old, dict) and isinstance(new, dict):
+            lines.append(drift_diff(old, new, prefix=f"{prefix}{key}."))
+        else:
+            lines.append(f"  {prefix}{key}: {old!r} -> {new!r}")
+    return "\n".join(line for line in lines if line)
+
+
+@pytest.mark.parametrize("name", sorted(PINNED))
+def test_mc_certificate_golden(name, request):
+    path = GOLDEN_DIR / f"{name}.mc.json"
+    current = certify_mc(name, brute=PINNED[name]["brute"]).to_doc()
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"no golden certificate for {name!r}; create it with "
+        f"`python -m pytest {__file__} --update-golden`"
+    )
+    golden = json.loads(path.read_text())
+    assert golden == current, (
+        f"mc certificate for {name!r} drifted from {path}:\n"
+        + drift_diff(golden, current)
+        + "\n(if intentional, re-pin with --update-golden)"
+    )

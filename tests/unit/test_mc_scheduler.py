@@ -1,0 +1,268 @@
+"""Unit tests for the model checker's schedule-control seam
+(repro.check.mc): trace record/replay, structured trace errors, the
+ScheduleSeam surface shared with the fault injector, conflict/race
+analysis, and pickle round-trips across the worker boundary."""
+
+import pickle
+
+import pytest
+
+from repro.check.mc import (
+    DivergenceWitness,
+    MCError,
+    MoveRecord,
+    ScheduleController,
+    ScheduleTraceError,
+    _conflicts,
+    find_races,
+    run_interleaving,
+)
+from repro.check.presets import MC_WORKLOADS
+from repro.faults import (
+    FaultConfig,
+    FaultPlan,
+    InvariantViolation,
+    ScheduleSeam,
+)
+
+SUM2 = MC_WORKLOADS["mc_sum2"].ref
+
+
+class TestScheduleSeam:
+    def test_fault_injector_is_a_schedule_seam(self):
+        inj = FaultPlan(1, FaultConfig()).injector()
+        assert isinstance(inj, ScheduleSeam)
+
+    def test_controller_is_a_schedule_seam(self):
+        assert isinstance(ScheduleController(), ScheduleSeam)
+
+    def test_base_seam_deliver_at_is_identity_fifo(self):
+        seam = ScheduleSeam()
+        assert seam.deliver_at(0, 1, 10) == 10
+        # FIFO clamp: a later send on the same channel never arrives
+        # before an earlier one.
+        assert seam.deliver_at(0, 1, 5) == 10
+        assert seam.deliver_at(2, 1, 5) == 5  # other channel unaffected
+
+    def test_base_seam_choose_takes_first(self):
+        assert ScheduleSeam().choose((7, 3, 5)) == 7
+
+    def test_injector_deliver_at_still_fifo_under_reorder(self):
+        cfg = FaultConfig(reorder_prob=1.0, reorder_max_delay=50)
+        inj = FaultPlan(3, cfg).injector()
+        times = [inj.deliver_at(0, 0, t) for t in (10, 11, 12, 13)]
+        assert times == sorted(times)
+        assert all(t >= s for t, s in zip(times, (10, 11, 12, 13)))
+
+
+class TestScheduleController:
+    def test_record_mode_picks_lowest_uid(self):
+        c = ScheduleController()
+        assert c.choose((2, 0, 1)) == 0
+        assert c.choose((2, 1)) == 1
+        assert c.decisions == [0, 1]
+        assert c.enabled_log == [(2, 0, 1), (2, 1)]
+
+    def test_prefix_is_followed_then_default(self):
+        c = ScheduleController(prefix=(1,))
+        assert c.choose((0, 1)) == 1
+        assert c.choose((0, 1)) == 0  # past the prefix: default
+        c.finish()  # fully consumed: no error
+
+    def test_empty_options_raises(self):
+        with pytest.raises(MCError, match="no enabled warps"):
+            ScheduleController().choose(())
+
+    def test_garbled_trace_not_enabled(self):
+        c = ScheduleController(prefix=(0, 9))
+        assert c.choose((0, 1)) == 0
+        with pytest.raises(ScheduleTraceError, match="garbled") as ei:
+            c.choose((0, 1))
+        err = ei.value
+        assert err.reason == "not-enabled"
+        assert err.point == 1
+        assert err.decision == 9
+        assert err.enabled == (0, 1)
+
+    def test_truncated_trace_exhausted_in_strict_mode(self):
+        c = ScheduleController(prefix=(0,), strict=True)
+        assert c.choose((0, 1)) == 0
+        with pytest.raises(ScheduleTraceError, match="truncated") as ei:
+            c.choose((0, 1))
+        assert ei.value.reason == "exhausted"
+        assert ei.value.point == 1
+
+    def test_overlong_trace_unconsumed_at_finish(self):
+        c = ScheduleController(prefix=(0, 1, 0, 1))
+        assert c.choose((0, 1)) == 0
+        with pytest.raises(ScheduleTraceError, match="more") as ei:
+            c.finish()
+        assert ei.value.reason == "unconsumed"
+        assert ei.value.point == 1
+
+
+class TestRecordReplay:
+    @pytest.mark.parametrize("model", ["dab", "baseline"])
+    def test_recorded_trace_replays_byte_identical(self, model):
+        rec = ScheduleController()
+        recorded = run_interleaving(SUM2, model, rec)
+        rep = ScheduleController(prefix=recorded.decisions, strict=True)
+        replayed = run_interleaving(SUM2, model, rep)
+        assert replayed.run_digest() == recorded.run_digest()
+        assert replayed.mem_digest == recorded.mem_digest
+        assert replayed.decisions == recorded.decisions
+        assert replayed.moves == recorded.moves
+
+    def test_truncated_trace_fails_replay_structured(self):
+        recorded = run_interleaving(SUM2, "dab", ScheduleController())
+        short = recorded.decisions[:-1]
+        with pytest.raises(ScheduleTraceError) as ei:
+            run_interleaving(SUM2, "dab",
+                             ScheduleController(prefix=short, strict=True))
+        assert ei.value.reason == "exhausted"
+        assert ei.value.point == len(short)
+
+    def test_garbled_trace_fails_replay_structured(self):
+        recorded = run_interleaving(SUM2, "dab", ScheduleController())
+        garbled = list(recorded.decisions)
+        garbled[0] = 99  # not a warp uid
+        with pytest.raises(ScheduleTraceError) as ei:
+            run_interleaving(SUM2, "dab",
+                             ScheduleController(prefix=garbled, strict=True))
+        assert ei.value.reason == "not-enabled"
+        assert ei.value.decision == 99
+
+    def test_overlong_trace_fails_replay_structured(self):
+        recorded = run_interleaving(SUM2, "dab", ScheduleController())
+        overlong = list(recorded.decisions) + [0, 0]
+        with pytest.raises(ScheduleTraceError) as ei:
+            run_interleaving(SUM2, "dab",
+                             ScheduleController(prefix=overlong, strict=True))
+        assert ei.value.reason == "unconsumed"
+
+    def test_step_budget_is_a_hard_refusal(self):
+        with pytest.raises(MCError, match="step budget"):
+            run_interleaving(SUM2, "dab", ScheduleController(),
+                             step_budget=3)
+
+    def test_different_schedule_same_dab_digest(self):
+        a = run_interleaving(SUM2, "dab", ScheduleController())
+        flipped = (a.decisions[-1],) + a.decisions[:-1]
+        # flipped may not be legal; pick a legal alternative instead:
+        # swap the first decision to the other enabled warp.
+        alt = [u for u in a.enabled_log[0] if u != a.decisions[0]][0]
+        b = run_interleaving(
+            SUM2, "dab", ScheduleController(prefix=(alt,)))
+        assert b.decisions != a.decisions
+        assert b.mem_digest == a.mem_digest
+        assert b.multiset_digest == a.multiset_digest
+        del flipped
+
+
+def _mv(warp, kind, addrs=(), write=False, sync=False, kernel=0):
+    return MoveRecord(warp, kind, tuple(addrs), write, sync, kernel)
+
+
+class TestConflictsAndRaces:
+    def test_read_read_commutes(self):
+        assert not _conflicts(_mv(0, "load", (4,)), _mv(1, "load", (4,)))
+
+    def test_write_overlap_conflicts(self):
+        assert _conflicts(_mv(0, "red", (4,), write=True),
+                          _mv(1, "load", (4,)))
+
+    def test_disjoint_addresses_commute(self):
+        assert not _conflicts(_mv(0, "store", (4,), write=True),
+                              _mv(1, "store", (8,), write=True))
+
+    def test_sync_conflicts_with_memory_but_not_sync(self):
+        bar = _mv(0, "bar", sync=True)
+        assert _conflicts(bar, _mv(1, "red", (4,), write=True))
+        assert _conflicts(bar, _mv(1, "load", (4,)))
+        assert not _conflicts(bar, _mv(1, "fence", sync=True))
+        assert not _conflicts(bar, _mv(1, "local"))
+
+    def test_cross_kernel_never_conflicts(self):
+        assert not _conflicts(_mv(0, "red", (4,), write=True, kernel=0),
+                              _mv(1, "red", (4,), write=True, kernel=1))
+
+    def test_find_races_flags_unordered_writes(self):
+        moves = [_mv(0, "red", (4,), write=True),
+                 _mv(1, "red", (4,), write=True)]
+        assert find_races(moves) == [(0, 1)]
+
+    def test_find_races_skips_chain_ordered_pair(self):
+        # 0w -> 1w (conflict), 1w -> 2w (conflict): (0, 2) is ordered
+        # through the chain and must not be reported.
+        moves = [_mv(0, "red", (4,), write=True),
+                 _mv(1, "red", (4,), write=True),
+                 _mv(2, "red", (4,), write=True)]
+        assert find_races(moves) == [(0, 1), (1, 2)]
+
+    def test_find_races_respects_program_order(self):
+        moves = [_mv(0, "red", (4,), write=True),
+                 _mv(0, "load", (4,))]
+        assert find_races(moves) == []
+
+
+class TestPickleRoundTrips:
+    """Worker-boundary safety: structured exceptions and witness objects
+    must survive ProcessPoolExecutor's pickle transport intact."""
+
+    def test_schedule_trace_error_round_trips(self):
+        err = ScheduleTraceError("not-enabled", 3, 9, (0, 1))
+        back = pickle.loads(pickle.dumps(err))
+        assert isinstance(back, ScheduleTraceError)
+        assert (back.reason, back.point, back.decision, back.enabled) \
+            == ("not-enabled", 3, 9, (0, 1))
+        assert str(back) == str(err)
+
+    @pytest.mark.parametrize("reason,args", [
+        ("exhausted", (2, None, (0, 1))),
+        ("unconsumed", (5, 1, ())),
+    ])
+    def test_all_trace_error_reasons_round_trip(self, reason, args):
+        err = ScheduleTraceError(reason, *args)
+        back = pickle.loads(pickle.dumps(err))
+        assert back.reason == reason
+        assert str(back) == str(err)
+
+    def test_invariant_violation_round_trips(self):
+        err = InvariantViolation("flush_counts", 120, "partition.1",
+                                 "unexpected entry", fault="drop of txn")
+        back = pickle.loads(pickle.dumps(err))
+        assert isinstance(back, InvariantViolation)
+        assert back.invariant == "flush_counts"
+        assert back.cycle == 120
+        assert back.unit == "partition.1"
+        assert back.detail == "unexpected entry"
+        assert back.fault == "drop of txn"
+        assert str(back) == str(err)
+
+    def test_invariant_violation_round_trips_without_fault(self):
+        err = InvariantViolation("rop_order", 7, "partition.0", "oops")
+        back = pickle.loads(pickle.dumps(err))
+        assert back.fault is None
+        assert str(back) == str(err)
+
+    def test_divergence_witness_round_trips(self):
+        w = DivergenceWitness(
+            workload="mc_sum2", model="baseline",
+            digest_a="a" * 64, digest_b="b" * 64,
+            trace_a=(0, 1), trace_b=(1, 0),
+            replay_a="a" * 64, replay_b="b" * 64)
+        back = pickle.loads(pickle.dumps(w))
+        assert back == w
+        assert back.verified
+
+    def test_mc_run_round_trips(self):
+        run = run_interleaving(SUM2, "dab", ScheduleController())
+        back = pickle.loads(pickle.dumps(run))
+        assert back == run
+        assert back.run_digest() == run.run_digest()
+
+    def test_mc_error_round_trips(self):
+        err = MCError("budget exhausted")
+        back = pickle.loads(pickle.dumps(err))
+        assert isinstance(back, MCError)
+        assert str(back) == "budget exhausted"
