@@ -1,21 +1,28 @@
 """Hot-loop engine benchmark: event-driven issue vs per-cycle polling.
 
 Runs the Fig 10 quick workload set under the three architectures at the
-paper-scale GPU configuration (``GPUConfig.titan_v``: 80 SMs), once per
-engine — the event-driven fastpath (default) and the per-cycle polling
-reference (``REPRO_NO_FASTPATH=1``) — asserts the two produce identical
-memory digests, cycle counts, and metrics, and appends the wall-clock
-ratios to ``benchmarks/results/BENCH_hotloop.json``.
+paper-scale GPU configuration (``GPUConfig.titan_v``: 80 SMs) under
+both engines — the event-driven SoA fastpath (default) and the
+per-cycle polling reference (``REPRO_NO_FASTPATH=1``) — asserts the two
+produce identical memory digests, cycle counts, and metrics, and
+appends the timing ratios to ``benchmarks/results/BENCH_hotloop.json``.
 
 The Fig 10 experiment tables themselves run on ``GPUConfig.small`` for
 CI speed; the hot-loop cost being eliminated here (per-cycle scheduler
 scans, flush-gate polling, GPUDet quantum scans) grows with SM count,
-so the engine comparison is made at the scale the paper models.  The
-headline is the DAB geomean — DAB is the paper's architecture, and its
-flush controller is the subsystem the polling loop re-examines every
-cycle (locally ~2.6x; baseline and GPUDet cells run ~1.1-1.2x because
-their remaining cost is instruction execution shared by both engines).
-The committed floor is 1.5x to tolerate noisy CI machines.
+so the engine comparison is made at the scale the paper models.  Each
+cell is timed on engine-only wall clock (``SimResult.sim_wall_s``:
+inside ``GPU.run``, excluding workload build and result digesting,
+which are identical for both engines), best of ``BENCH_REPEATS`` runs
+— both engines are deterministic, so the minimum is the least-noise
+estimate on a frequency-scaling host.  The headline is the DAB geomean
+— DAB is the paper's architecture, and its flush controller is the
+subsystem the polling loop re-examines every cycle (locally ~3.0x with
+the SoA warp core, up from ~2.6x for the PR 5 event engine; baseline
+and GPUDet cells run ~1.2-1.4x because their remaining cost is
+instruction execution shared by both engines).  The committed floors
+(DAB 1.5x, baseline 1.1x) are set well under the local measurements to
+tolerate noisy CI machines.
 
 Runnable directly (``python benchmarks/bench_hotloop.py``) or under
 pytest with the rest of the benchmark suite.
@@ -25,7 +32,6 @@ import json
 import math
 import os
 import pathlib
-import time
 
 from repro.config import GPUConfig
 from repro.core.dab import DABConfig
@@ -39,9 +45,19 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 BENCH_PATH = RESULTS_DIR / "BENCH_hotloop.json"
 BENCH_SCHEMA = "repro.bench_hotloop/v1"
 
-#: Committed CI floor for the DAB geomean speedup (headline target: 2x;
+#: Committed CI floor for the DAB geomean speedup (headline target: 3x;
 #: see module docstring for the local measurement).
 DAB_GEOMEAN_FLOOR = 1.5
+#: Committed CI floor for the baseline-architecture geomean: the SoA
+#: warp core must pay for itself even where there is no flush
+#: controller to skip (the conservative floor tolerates noisy CI; see
+#: the module docstring for the local measurement).
+BASELINE_GEOMEAN_FLOOR = 1.1
+#: Timed repetitions per (arch, workload, engine) cell; the reported
+#: time is the best of N.  Single-shot timings on a loaded or
+#: frequency-scaling host swing by tens of percent, and since both
+#: engines are deterministic the minimum is the least-noise estimate.
+BENCH_REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "2"))
 
 # Fig 10 quick workload set (experiments.graph_workloads/conv_workloads
 # with quick=True), built directly so the bench controls the GPU config.
@@ -69,16 +85,20 @@ def _run_cell(factory, arch, fastpath):
     else:
         os.environ["REPRO_NO_FASTPATH"] = "1"
     try:
-        t0 = time.perf_counter()
-        res = run_workload(factory, arch, gpu_config=GPUConfig.titan_v(),
-                           seed=1)
-        dt = time.perf_counter() - t0
+        best = math.inf
+        for _ in range(BENCH_REPEATS):
+            res = run_workload(factory, arch,
+                               gpu_config=GPUConfig.titan_v(), seed=1)
+            # Engine-only wall time: excludes workload construction and
+            # result digesting, which are identical for both engines and
+            # would only dilute the comparison toward 1x.
+            best = min(best, res.sim_wall_s)
     finally:
         os.environ.pop("REPRO_NO_FASTPATH", None)
     metrics = res.metrics_dict()
     metrics.pop("host_profile", None)
-    return dt, {"mem_digest": res.mem_digest, "cycles": res.cycles,
-                "metrics": metrics}
+    return best, {"mem_digest": res.mem_digest, "cycles": res.cycles,
+                  "metrics": metrics}
 
 
 def _geomean(values):
@@ -152,6 +172,7 @@ def test_hotloop_speed():
     entry = run_hotloop()
     _append_run(entry)
     assert entry["headline_dab_geomean"] >= DAB_GEOMEAN_FLOOR
+    assert entry["geomean"]["baseline"] >= BASELINE_GEOMEAN_FLOOR
     # Never a pessimization: every cell within noise of the old engine.
     for c in entry["cells"]:
         assert c["speedup"] >= 0.8, c

@@ -22,6 +22,7 @@ Timing/functional split (documented simplification, see DESIGN.md §5):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappush
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -73,10 +74,11 @@ class Warp:
     __slots__ = (
         "uid", "sm_id", "scheduler_id", "hw_slot", "batch",
         "cta", "warp_id_in_cta", "warp_size", "program", "regs", "stack",
-        "ready_cycle", "outstanding_loads", "outstanding_stores",
-        "outstanding_atoms", "at_barrier", "exited", "dyn_instrs",
+        "_ready_cycle", "_outstanding_loads", "_outstanding_stores",
+        "_outstanding_atoms", "_at_barrier", "_exited", "dyn_instrs",
         "dyn_atomics", "sleep_until", "launched_cycle", "fence_arrived_at",
-        "buffered_reds", "_red_cache", "capture_addrs",
+        "_buffered_reds", "_red_cache", "capture_addrs",
+        "_slabs", "_row", "_col",
     )
 
     def __init__(
@@ -109,21 +111,26 @@ class Warp:
         self.regs: Dict[str, np.ndarray] = {}
         self._init_special_registers(first_thread, lanes, in_cta)
 
-        # Timing-model state (owned by the SM, stored here for locality).
-        self.ready_cycle = 0
-        self.outstanding_loads = 0
-        self.outstanding_stores = 0
-        self.outstanding_atoms = 0
-        self.at_barrier = False
-        self.exited = False
+        # Timing-model state (owned by the SM).  Unbound warps — the ISA
+        # oracle, the model checker, unit tests — store it in these
+        # instance fields; warps placed into an SM slot are bound to the
+        # GPU-wide SoA slabs (repro.sim.soa) and the public properties
+        # below route reads/writes into their (row, col) cell instead.
+        self._slabs = None
+        self._row = 0
+        self._col = 0
+        self._ready_cycle = 0
+        self._outstanding_loads = 0
+        self._outstanding_stores = 0
+        self._outstanding_atoms = 0
+        self._at_barrier = False
+        self._exited = False
+        self._buffered_reds = 0
         self.sleep_until = 0
         self.launched_cycle = 0
         self.fence_arrived_at = 0
         self.dyn_instrs = 0
         self.dyn_atomics = 0
-        #: reds inserted into a DAB buffer since the last flush; a CTA
-        #: barrier whose warps all have 0 here needs no fence flush.
-        self.buffered_reds = 0
         self._red_cache = None  # (dyn_instrs, pc, ops) memo for peek_red_ops
         #: when True, memory StepResults carry exact per-lane addresses
         #: and gtids (race-certification tracing; off on the hot path).
@@ -149,9 +156,143 @@ class Warp:
                 self.regs[name] = np.full(self.warp_size, np.float32(value), dtype=np.float32)
 
     # ------------------------------------------------------------------
+    # SoA facade (DESIGN §16), write-through: the instance fields are
+    # always current (so scalar reads cost one property hop and plain
+    # int/bool come back — no numpy scalars on determinism surfaces),
+    # and every setter mirrors the new value into the bound slab cell
+    # so the vector engine's row gathers observe identical state.
+    # Standalone warps (oracle, model checker, unit tests) never bind
+    # and skip the mirror entirely.
+    # ------------------------------------------------------------------
+    def bind_slab(self, slabs, row: int, col: int) -> None:
+        """Adopt slab cell (row, col) as the mirror of timing state."""
+        slabs.ready_cycle[row, col] = self._ready_cycle
+        slabs.out_loads[row, col] = self._outstanding_loads
+        slabs.out_stores[row, col] = self._outstanding_stores
+        slabs.out_atoms[row, col] = self._outstanding_atoms
+        slabs.buffered_reds[row, col] = self._buffered_reds
+        slabs.at_barrier[row, col] = self._at_barrier
+        st = self.stack
+        slabs.active[row, col] = not (self._exited or st.done)
+        slabs.pc[row, col] = st.pc if not st.done else 0
+        self._slabs = slabs
+        self._row = row
+        self._col = col
+        if (slabs.active[row, col] and not self._at_barrier
+                and self._outstanding_loads == 0
+                and self._outstanding_atoms == 0):
+            heappush(slabs.warp_wake, (self._ready_cycle, row, col))
+
+    def unbind_slab(self) -> None:
+        """Detach from the slabs (called before the hardware slot is
+        reused — late store acks may still land on this warp object,
+        and must not write through to the new occupant's cell).  The
+        instance fields are already current (write-through)."""
+        self._slabs = None
+
+    @property
+    def ready_cycle(self) -> int:
+        return self._ready_cycle
+
+    @ready_cycle.setter
+    def ready_cycle(self, v: int) -> None:
+        self._ready_cycle = v
+        s = self._slabs
+        if s is not None:
+            r, c = self._row, self._col
+            s.ready_cycle[r, c] = v
+            # Lazy wake calendar: any time an *eligible* warp (live,
+            # not at a barrier, nothing outstanding) gains a wake time
+            # it is pushed; GPU._earliest_warp_wake_fast validates at
+            # peek and discards superseded entries.
+            if (not self._at_barrier and self._outstanding_loads == 0
+                    and self._outstanding_atoms == 0 and s.active[r, c]):
+                heappush(s.warp_wake, (v, r, c))
+
+    @property
+    def outstanding_loads(self) -> int:
+        return self._outstanding_loads
+
+    @outstanding_loads.setter
+    def outstanding_loads(self, v: int) -> None:
+        self._outstanding_loads = v
+        s = self._slabs
+        if s is not None:
+            r, c = self._row, self._col
+            s.out_loads[r, c] = v
+            if (v == 0 and not self._at_barrier
+                    and self._outstanding_atoms == 0 and s.active[r, c]):
+                heappush(s.warp_wake, (self._ready_cycle, r, c))
+
+    @property
+    def outstanding_stores(self) -> int:
+        return self._outstanding_stores
+
+    @outstanding_stores.setter
+    def outstanding_stores(self, v: int) -> None:
+        self._outstanding_stores = v
+        s = self._slabs
+        if s is not None:
+            s.out_stores[self._row, self._col] = v
+
+    @property
+    def outstanding_atoms(self) -> int:
+        return self._outstanding_atoms
+
+    @outstanding_atoms.setter
+    def outstanding_atoms(self, v: int) -> None:
+        self._outstanding_atoms = v
+        s = self._slabs
+        if s is not None:
+            r, c = self._row, self._col
+            s.out_atoms[r, c] = v
+            if (v == 0 and not self._at_barrier
+                    and self._outstanding_loads == 0 and s.active[r, c]):
+                heappush(s.warp_wake, (self._ready_cycle, r, c))
+
+    @property
+    def at_barrier(self) -> bool:
+        return self._at_barrier
+
+    @at_barrier.setter
+    def at_barrier(self, v: bool) -> None:
+        self._at_barrier = v
+        s = self._slabs
+        if s is not None:
+            r, c = self._row, self._col
+            s.at_barrier[r, c] = v
+            if (not v and self._outstanding_loads == 0
+                    and self._outstanding_atoms == 0 and s.active[r, c]):
+                heappush(s.warp_wake, (self._ready_cycle, r, c))
+
+    @property
+    def buffered_reds(self) -> int:
+        """Reds inserted into a DAB buffer since the last flush; a CTA
+        barrier whose warps all have 0 here needs no fence flush."""
+        return self._buffered_reds
+
+    @buffered_reds.setter
+    def buffered_reds(self, v: int) -> None:
+        self._buffered_reds = v
+        s = self._slabs
+        if s is not None:
+            s.buffered_reds[self._row, self._col] = v
+
+    @property
+    def exited(self) -> bool:
+        return self._exited
+
+    @exited.setter
+    def exited(self, v: bool) -> None:
+        self._exited = v
+        s = self._slabs
+        if s is not None and v:
+            s.active[self._row, self._col] = False
+
+    # ------------------------------------------------------------------
     @property
     def done(self) -> bool:
-        return self.exited or self.stack.done
+        return self._exited or self.stack.done
 
     @property
     def pc(self) -> int:
@@ -207,7 +348,7 @@ class Warp:
         if ins is None or ins.op_class is not OpClass.MEM_RED:
             return 0
         mask = self._effective_mask(ins)
-        return int(mask.sum())
+        return int(np.count_nonzero(mask))
 
     def peek_red_ops(self) -> Tuple[AtomicOp, ...]:
         """Dry-run the next ``red``'s lane ops without executing it.
@@ -232,8 +373,9 @@ class Warp:
         addrs = self._mem_addresses(ins)
         vals = self._read(ins.srcs[0], dtype)
         ops = tuple(
-            AtomicOp(int(addrs[l]), op_suffix, (_scalar(vals[l]),))
-            for l in lane_ids
+            AtomicOp(a, op_suffix, (v,))
+            for a, v in zip(addrs[lane_ids].tolist(),
+                            _scalar_list(vals, lane_ids))
         )
         self._red_cache = (self.dyn_instrs, self.stack.pc, ops)
         return ops
@@ -282,12 +424,28 @@ class Warp:
 
     # ------------------------------------------------------------------
     def step(self, mem: GlobalMemory) -> StepResult:
-        """Execute one instruction functionally; advance the SIMT stack."""
+        """Execute one instruction functionally; advance the SIMT stack.
+
+        The slab ``pc``/``active`` cells are refreshed here (not in the
+        SM) because GPUDet's serial commit mode steps warps directly,
+        bypassing ``SM._issue``.
+        """
+        result = self._step(mem)
+        slabs = self._slabs
+        if slabs is not None:
+            st = self.stack
+            if st.done:
+                slabs.active[self._row, self._col] = False
+            else:
+                slabs.pc[self._row, self._col] = st.pc
+        return result
+
+    def _step(self, mem: GlobalMemory) -> StepResult:
         if self.done:
             raise RuntimeError("step() on a finished warp")
         ins = self.program.instrs[self.stack.pc]
         mask = self._effective_mask(ins)
-        active = int(mask.sum())
+        active = int(np.count_nonzero(mask))
         self.dyn_instrs += 1
         oc = ins.op_class
 
@@ -342,7 +500,9 @@ class Warp:
         addrs = self._mem_addresses(ins)
         lane_ids = np.nonzero(mask)[0]
         act_addrs = addrs[lane_ids]
-        sectors = tuple(sorted({int(a) // SECTOR_BYTES * SECTOR_BYTES for a in act_addrs}))
+        addr_list = act_addrs.tolist()
+        sectors = tuple(sorted({a // SECTOR_BYTES * SECTOR_BYTES
+                                for a in addr_list}))
 
         if oc is OpClass.MEM_LOAD:
             raw = mem.load_many(act_addrs)
@@ -358,32 +518,36 @@ class Warp:
             op_suffix = ins.op_suffix  # e.g. "add.f32"
             vals = self._read(ins.srcs[0], dtype)
             red_ops = tuple(
-                AtomicOp(int(addrs[l]), op_suffix, (_scalar(vals[l]),))
-                for l in lane_ids
+                AtomicOp(a, op_suffix, (v,))
+                for a, v in zip(addr_list, _scalar_list(vals, lane_ids))
             )
             self.dyn_atomics += 1
             spec = MemRequestSpec(kind="red", sectors=sectors, red_ops=red_ops)
         else:  # MEM_ATOM
             op_suffix = ins.op_suffix
             atom_root = ins.parts[2]
+            lanes_list = lane_ids.tolist()
             if atom_root == "cas":
                 cmp_v = self._read(ins.srcs[0], dtype)
                 val_v = self._read(ins.srcs[1], dtype)
                 ops = tuple(
-                    (int(l), AtomicOp(int(addrs[l]), op_suffix,
-                                      (_scalar(cmp_v[l]), _scalar(val_v[l]))))
-                    for l in lane_ids
+                    (l, AtomicOp(a, op_suffix, (cv, vv)))
+                    for l, a, cv, vv in zip(
+                        lanes_list, addr_list,
+                        _scalar_list(cmp_v, lane_ids),
+                        _scalar_list(val_v, lane_ids))
                 )
             elif atom_root == "inc":
                 ops = tuple(
-                    (int(l), AtomicOp(int(addrs[l]), op_suffix, (1,)))
-                    for l in lane_ids
+                    (l, AtomicOp(a, op_suffix, (1,)))
+                    for l, a in zip(lanes_list, addr_list)
                 )
             else:
                 val_v = self._read(ins.srcs[0], dtype)
                 ops = tuple(
-                    (int(l), AtomicOp(int(addrs[l]), op_suffix, (_scalar(val_v[l]),)))
-                    for l in lane_ids
+                    (l, AtomicOp(a, op_suffix, (v,)))
+                    for l, a, v in zip(lanes_list, addr_list,
+                                       _scalar_list(val_v, lane_ids))
                 )
             self.dyn_atomics += 1
             spec = MemRequestSpec(kind="atom", sectors=sectors, atom_ops=ops,
@@ -391,8 +555,8 @@ class Warp:
 
         if self.capture_addrs:
             gtid = self.regs["%gtid"]
-            spec.addrs = tuple(int(a) for a in act_addrs)
-            spec.gtids = tuple(int(gtid[l]) for l in lane_ids)
+            spec.addrs = tuple(addr_list)
+            spec.gtids = tuple(gtid[lane_ids].tolist())
 
         self.stack.advance()
         return StepResult(ins, oc, active, mem=spec)
@@ -553,6 +717,14 @@ def _scalar(v):
     if isinstance(v, np.integer):
         return int(v)
     return v
+
+def _scalar_list(arr: np.ndarray, lane_ids: np.ndarray):
+    """Bulk `_scalar` over selected lanes (one tolist beats per-lane
+    numpy scalar extraction).  float32/int64 arrays convert exactly the
+    way `_scalar` does; anything else falls back to the scalar path."""
+    if arr.dtype == np.float32 or arr.dtype == np.int64:
+        return arr[lane_ids].tolist()
+    return [_scalar(arr[l]) for l in lane_ids]
 
 
 _COMPARES = {

@@ -74,6 +74,9 @@ class FlushController:
         self.gpu = gpu
         self.config = config
         self.obs = getattr(gpu, "obs", None)
+        from repro.core.dab import BufferLevel
+
+        self._warp_level = config.buffer_level is BufferLevel.WARP
         self.stats = FlushStats()
         self.phase = FlushPhase.IDLE
         self._fence_requested = False
@@ -129,8 +132,18 @@ class FlushController:
         if self._active and not self.config.relax_overlap_flush:
             return False
         sms = self.gpu.sms
-        nonempty = any(sm.any_buffer_nonempty() for sm in sms)
-        any_full = any(sm.any_buffer_full() for sm in sms)
+        soa = getattr(self.gpu, "soa", None)
+        fast = soa is not None and getattr(self.gpu, "fastpath", False)
+        if fast:
+            # SoA-mirror trigger queries, O(1) counters (fast engine
+            # only: the polling oracle keeps the original object-graph
+            # queries so a mirror-maintenance bug surfaces as an engine
+            # divergence instead of corrupting both).
+            nonempty = soa.buf_nonempty_count > 0
+            any_full = soa.buf_full_count > 0
+        else:  # oracle path and test doubles without slabs
+            nonempty = any(sm.any_buffer_nonempty() for sm in sms)
+            any_full = any(sm.any_buffer_full() for sm in sms)
         want = (
             (nonempty and any_full)
             or (self._fence_requested)
@@ -141,7 +154,13 @@ class FlushController:
             if self._drain_requested and not nonempty:
                 self._drain_requested = False
             return False
-        if not all(sm.buffers_flush_ready() for sm in sms):
+        # The feeder-blocked scan is the expensive query; both engines
+        # evaluate it only once a trigger condition is actually met.
+        if fast:
+            blocked = soa.flush_feeder_blocked(self._warp_level)
+        else:
+            blocked = not all(sm.buffers_flush_ready() for sm in sms)
+        if blocked:
             # Not every buffer is at a deterministic point yet; under a
             # global quiesce this cannot happen (everything is blocked),
             # but re-check defensively.
@@ -191,7 +210,11 @@ class FlushController:
         if started:
             # Fence/drain requests are satisfied once every cluster with
             # content has flushed; cleared lazily when all complete.
-            if all(not sm.any_buffer_nonempty() for sm in self.gpu.sms):
+            soa = getattr(self.gpu, "soa", None)
+            if (soa.buf_nonempty_count == 0
+                    if soa is not None and getattr(self.gpu, "fastpath", False)
+                    else all(not sm.any_buffer_nonempty()
+                             for sm in self.gpu.sms)):
                 self._fence_requested = False
                 self._drain_requested = False
         return started

@@ -102,8 +102,16 @@ class SchedulerPolicy:
         self.obs_id = -1
 
     def select(
-        self, now: int, slots: Sequence[Optional[WarpStatus]]
+        self, now: int, slots: Sequence[Optional[WarpStatus]],
+        live: Optional[List[WarpStatus]] = None,
     ) -> Tuple[Optional[Warp], Optional[str]]:
+        """Pick the warp to issue.
+
+        ``live`` optionally carries the precomputed ``_live(slots)``
+        list: the SoA fastpath builds it while writing the status rows,
+        so policies need not re-filter the slots (identical contents
+        and order; the polling engine passes None and filters here).
+        """
         raise NotImplementedError
 
     # -- event hooks (called by the SM; see module docstring) -------------
@@ -160,9 +168,10 @@ class GTOScheduler(SchedulerPolicy):
         super().__init__(num_slots)
         self._last_uid: Optional[int] = None
 
-    def select(self, now, slots):
+    def select(self, now, slots, live=None):
         self.gate_blocked_warp = None
-        live = self._live(slots)
+        if live is None:
+            live = self._live(slots)
         issuable = [
             s for s in live
             if s.ready and not s.at_barrier and (not s.next_atomic or s.gate_ok)
@@ -198,9 +207,10 @@ class SRRScheduler(SchedulerPolicy):
         super().__init__(num_slots)
         self._ptr = 0
 
-    def select(self, now, slots):
+    def select(self, now, slots, live=None):
         self.gate_blocked_warp = None
-        live = self._live(slots)
+        if live is None:
+            live = self._live(slots)
         if not live:
             return None, STALL_EMPTY
         for step in range(self.num_slots):
@@ -260,9 +270,10 @@ class GTRRScheduler(SchedulerPolicy):
     def mode(self) -> str:
         return self._mode
 
-    def select(self, now, slots):
+    def select(self, now, slots, live=None):
         self.gate_blocked_warp = None
-        live = self._live(slots)
+        if live is None:
+            live = self._live(slots)
         if not live:
             return None, STALL_EMPTY
         if self._mode == "gto":
@@ -283,7 +294,7 @@ class GTRRScheduler(SchedulerPolicy):
                 if any(s.ready and s.next_atomic for s in live):
                     return None, STALL_ROUND
                 return None, self._fallback_reason(live)
-        picked = self._srr.select(now, slots)
+        picked = self._srr.select(now, slots, live)
         self.gate_blocked_warp = self._srr.gate_blocked_warp
         return picked
 
@@ -323,9 +334,10 @@ class GTARScheduler(SchedulerPolicy):
     def round_open(self) -> bool:
         return self._round_open
 
-    def select(self, now, slots):
+    def select(self, now, slots, live=None):
         self.gate_blocked_warp = None
-        live = self._live(slots)
+        if live is None:
+            live = self._live(slots)
         if not live:
             return None, STALL_EMPTY
 
@@ -492,6 +504,32 @@ class GWATScheduler(SchedulerPolicy):
                           sched=self.obs_id, from_slot=from_slot,
                           to_slot=best)
 
+    def _pass_token_slots(
+        self, slots: Sequence[Optional[WarpStatus]], from_slot: int
+    ) -> None:
+        """Status-based twin of :meth:`_pass_token` for the select path.
+
+        The statuses snapshot ``done``/``at_barrier`` at the top of this
+        very select call and nothing can mutate them before the pass, so
+        the decision is identical — without materializing a warps list
+        and re-reading warp state through the SoA facade.
+        """
+        best = None
+        best_key = None
+        for step in range(1, self.num_slots + 1):
+            idx = (from_slot + step) % self.num_slots
+            s = slots[idx]
+            if s is None or not s.live or s.at_barrier:
+                continue
+            key = (s.warp.batch, step)
+            if best_key is None or key < best_key:
+                best, best_key = idx, key
+        self._token = best
+        if self.obs is not None:
+            self.obs.emit("sched", "token_pass", sm=self.obs_sm,
+                          sched=self.obs_id, from_slot=from_slot,
+                          to_slot=best)
+
     def _reseed_token(self, slots: Sequence[Optional[WarpStatus]]) -> None:
         best = None
         best_key = None
@@ -504,9 +542,10 @@ class GWATScheduler(SchedulerPolicy):
         if best is not None:
             self._token = best
 
-    def select(self, now, slots):
+    def select(self, now, slots, live=None):
         self.gate_blocked_warp = None
-        live = self._live(slots)
+        if live is None:
+            live = self._live(slots)
         if not live:
             self._token = None
             return None, STALL_EMPTY
@@ -530,8 +569,7 @@ class GWATScheduler(SchedulerPolicy):
             and not holder.at_barrier
         ):
             if holder.gate_ok:
-                warps = [s.warp if s is not None else None for s in slots]
-                self._pass_token(warps, holder.warp.hw_slot)
+                self._pass_token_slots(slots, holder.warp.hw_slot)
                 return holder.warp, None
             # Gated (buffer full / flush): holder keeps the token so the
             # deterministic order is preserved; non-atomic work continues.

@@ -235,16 +235,16 @@ class FaultPlan:
         rng = np.random.default_rng([seed, SITE_SAMPLE])
         return cls(seed, FaultConfig(
             dram_burst_prob=round(float(rng.uniform(0.02, 0.20)), 4),
-            dram_burst_len=int(rng.integers(2, 33)),
-            dram_burst_extra=int(rng.integers(8, 129)),
+            dram_burst_len=int(rng.integers(2, 33, dtype=np.int64)),
+            dram_burst_extra=int(rng.integers(8, 129, dtype=np.int64)),
             icnt_spike_prob=round(float(rng.uniform(0.02, 0.25)), 4),
-            icnt_spike_max=int(rng.integers(4, 65)),
+            icnt_spike_max=int(rng.integers(4, 65, dtype=np.int64)),
             reorder_prob=round(float(rng.uniform(0.05, 0.35)), 4),
-            reorder_max_delay=int(rng.integers(16, 257)),
-            stall_windows=int(rng.integers(1, 9)),
-            stall_len=int(rng.integers(64, 1025)),
+            reorder_max_delay=int(rng.integers(16, 257, dtype=np.int64)),
+            stall_windows=int(rng.integers(1, 9, dtype=np.int64)),
+            stall_len=int(rng.integers(64, 1025, dtype=np.int64)),
             preflush_delay_prob=round(float(rng.uniform(0.10, 0.50)), 4),
-            preflush_max_delay=int(rng.integers(16, 257)),
+            preflush_max_delay=int(rng.integers(16, 257, dtype=np.int64)),
             drop_prob=0.10 if corruption else 0.0,
             dup_prob=0.0,
         ))
@@ -358,7 +358,7 @@ class FaultInjector(ScheduleSeam):
         if rng.random() < cfg.dram_burst_prob:
             # This access starts the burst and is part of it.
             self._dram_burst_left[partition] = (
-                int(rng.integers(1, cfg.dram_burst_len + 1)) - 1
+                int(rng.integers(1, cfg.dram_burst_len + 1, dtype=np.int64)) - 1
             )
             self.counts["dram_burst"] += 1
             return cfg.dram_burst_extra
@@ -371,7 +371,8 @@ class FaultInjector(ScheduleSeam):
             return 0
         if self._icnt_rng.random() < cfg.icnt_spike_prob:
             self.counts["icnt_spike"] += 1
-            return int(self._icnt_rng.integers(1, cfg.icnt_spike_max + 1))
+            return int(self._icnt_rng.integers(
+                1, cfg.icnt_spike_max + 1, dtype=np.int64))
         return 0
 
     # -- adversarial message reordering ---------------------------------
@@ -386,7 +387,8 @@ class FaultInjector(ScheduleSeam):
                 and self._reorder_rng.random() < cfg.reorder_prob:
             self.counts["reorder"] += 1
             return int(
-                self._reorder_rng.integers(1, cfg.reorder_max_delay + 1)
+                self._reorder_rng.integers(
+                    1, cfg.reorder_max_delay + 1, dtype=np.int64)
             )
         return 0
 
@@ -402,7 +404,7 @@ class FaultInjector(ScheduleSeam):
         else:
             rng = np.random.default_rng([self.seed, SITE_STALL, partition])
             starts = sorted(
-                int(rng.integers(0, max(1, cfg.stall_horizon)))
+                int(rng.integers(0, max(1, cfg.stall_horizon), dtype=np.int64))
                 for _ in range(cfg.stall_windows)
             )
             windows = tuple((s, s + cfg.stall_len) for s in starts)
@@ -431,7 +433,8 @@ class FaultInjector(ScheduleSeam):
         if self._preflush_rng.random() < cfg.preflush_delay_prob:
             self.counts["preflush"] += 1
             return int(
-                self._preflush_rng.integers(1, cfg.preflush_max_delay + 1)
+                self._preflush_rng.integers(
+                    1, cfg.preflush_max_delay + 1, dtype=np.int64)
             )
         return 0
 

@@ -107,6 +107,7 @@ def run_workload(
     # Host wall-clock: telemetry only (metrics v3 `host_profile`), never
     # part of any determinism surface.
     result.wall_s = time.perf_counter() - t0
+    result.sim_wall_s = gpu.sim_wall_s
     result.label = arch.label
     result.extra["output_digest"] = workload.output_digest()
     result.extra["workload"] = workload.name

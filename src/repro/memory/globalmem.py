@@ -179,9 +179,27 @@ class GlobalMemory:
     # -- vector access (per-warp lanes) ------------------------------------
     def load_many(self, addrs: np.ndarray) -> np.ndarray:
         """Gather; returns float64 array of raw values (caller casts)."""
-        out = np.empty(len(addrs), dtype=np.float64)
-        for k, a in enumerate(addrs):
-            out[k] = self.load(int(a))
+        addr_list = addrs.tolist() if isinstance(addrs, np.ndarray) else \
+            [int(a) for a in addrs]
+        n = len(addr_list)
+        out = np.empty(n, dtype=np.float64)
+        i = 0
+        while i < n:
+            # Warp lanes overwhelmingly hit one buffer: locate the run's
+            # first address, extend the run while it stays in bounds, and
+            # gather the whole run with one fancy index.
+            buf, _ = self._locate(addr_list[i])
+            base, end = buf.base, buf.end
+            j = i + 1
+            while j < n and base <= addr_list[j] < end:
+                j += 1
+            idxs = []
+            for a in addr_list[i:j]:
+                if a % WORD_BYTES:
+                    raise ValueError(f"unaligned word address {a:#x}")
+                idxs.append((a - base) // WORD_BYTES)
+            out[i:j] = buf.data[idxs]
+            i = j
         return out
 
     def store_many(self, addrs: np.ndarray, values: np.ndarray) -> None:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import heapq
 import os
+import time
 from typing import Callable, Dict, List, Optional
 
 from repro.arch.kernel import CTA, Kernel
@@ -159,6 +160,26 @@ class GPU:
 
             self.gpudet = GPUDetController(self, gpudet)
 
+        # GPU-wide SoA warp slabs (constructed before SMs: each SM
+        # slices its row block out of these; see repro.sim.soa).
+        from repro.core.dab import BufferLevel
+        from repro.sim.soa import WarpSlabs
+
+        if dab is not None:
+            buffers_per_sm = (
+                config.max_warps_per_sm
+                if dab.buffer_level is BufferLevel.WARP
+                else config.num_schedulers_per_sm
+            )
+        else:
+            buffers_per_sm = 0
+        self.soa = WarpSlabs(
+            config.num_sms,
+            config.num_schedulers_per_sm,
+            config.warps_per_scheduler,
+            buffers_per_sm=buffers_per_sm,
+        )
+
         self.sms: List[SM] = []
         self.clusters: List[Cluster] = []
         for cid in range(config.num_clusters):
@@ -215,6 +236,11 @@ class GPU:
         #: unit of bulk stall accounting: one stall record per stalled
         #: scheduler per epoch, exactly like the polling loop.
         self.epochs = 0
+        #: accumulated wall-clock seconds spent inside run() across all
+        #: kernels — the engine-only cost (excludes workload build and
+        #: result digesting).  Telemetry only, never a determinism
+        #: surface; the hot-loop bench compares engines on this.
+        self.sim_wall_s = 0.0
         # Dirty flags gating the polled subsystems in _run_fast.  Every
         # mutation that could change the subsystem's answer must set the
         # flag (over-approximating is safe: the poll loop runs them
@@ -419,7 +445,9 @@ class GPU:
         if self.flush is not None:
             if self.flush.any_active:
                 return False
-            if any(sm.any_buffer_nonempty() for sm in self.sms):
+            nonempty = (self.soa.buf_nonempty_count > 0 if self.fastpath
+                        else any(sm.any_buffer_nonempty() for sm in self.sms))
+            if nonempty:
                 self.flush.request_drain_flush()
                 return False
         if self.gpudet is not None and not self.gpudet.drained():
@@ -462,9 +490,13 @@ class GPU:
     # Main loop.
     # ------------------------------------------------------------------
     def run(self, max_cycles: Optional[int] = None) -> SimResult:
-        if self.fastpath:
-            return self._run_fast(max_cycles)
-        return self._run_poll(max_cycles)
+        t0 = time.perf_counter()
+        try:
+            if self.fastpath:
+                return self._run_fast(max_cycles)
+            return self._run_poll(max_cycles)
+        finally:
+            self.sim_wall_s += time.perf_counter() - t0
 
     def _run_poll(self, max_cycles: Optional[int] = None) -> SimResult:
         """The original poll-every-cycle loop (``REPRO_NO_FASTPATH=1``).
@@ -629,6 +661,7 @@ class GPU:
         prof = obs.profiler if obs is not None else None
         run_t0 = prof.start() if prof is not None else 0.0
         sms = self.sms
+        soa = self.soa
         while True:
             if self.cycle > limit:
                 raise SimulationError(f"exceeded {limit} cycles")
@@ -669,9 +702,29 @@ class GPU:
             epoch = self.epochs
             cycle = self.cycle
             issued = 0
-            for sm in sms:
-                if sm.live_count and sm.needs_visit(cycle):
-                    issued += sm.issue_cycle_fast(cycle, epoch)
+            if soa.wake_heap:
+                soa.pop_due(cycle)
+            vd = soa.visit_dirty
+            if vd:
+                # Ascending SM order with lazy re-evaluation, exactly
+                # like the polling loop's `for sm in sms: if
+                # needs_visit` — an SM touched mid-phase by a LOWER id
+                # is merged into the remaining batch (visited this
+                # cycle); one touched by a higher id stays on the
+                # agenda for the next cycle.
+                batch = sorted(vd)
+                vd.clear()
+                i = 0
+                while i < len(batch):
+                    smid = batch[i]
+                    i += 1
+                    if sms[smid].live_count:
+                        issued += sms[smid].issue_cycle_fast(cycle, epoch)
+                        if vd:
+                            extras = [x for x in vd if x > smid]
+                            if extras:
+                                vd.difference_update(extras)
+                                batch[i:] = sorted(set(batch[i:]).union(extras))
             if issued:
                 progressed = True
                 self._wake_dirty = True
@@ -743,38 +796,12 @@ class GPU:
             sm.touch_all()
 
     def _earliest_warp_wake_fast(self) -> Optional[int]:
-        # Fastpath replacement for _earliest_warp_wake: per-scheduler
-        # wake memos were refreshed when each stall window opened (and
-        # are always in the future relative to that examination); dirty
-        # schedulers fall back to an O(slots) rescan with the identical
-        # "ready_cycle > cycle, not at barrier, nothing outstanding"
-        # filter.  The GPU-level memo (same contract as
-        # _earliest_warp_wake) skips even the per-scheduler sweep while
-        # nothing mutated warp wake state.
-        c = self.cycle
-        if not self._wake_dirty:
-            cached = self._wake_value
-            if cached is None or cached > c:
-                return cached
-        best: Optional[int] = None
-        for sm in self.sms:
-            if not sm.live_count:
-                continue
-            dirty = sm._sched_dirty
-            wakes = sm._sched_wake
-            for s in range(sm.num_schedulers):
-                if dirty[s]:
-                    w = sm._sched_wake_scan(s, c)
-                else:
-                    w = wakes[s]
-                    if w is not None and w <= c:
-                        # Defensive: a clean memo must be in the future.
-                        w = sm._sched_wake_scan(s, c)
-                if w is not None and (best is None or w < best):
-                    best = w
-        self._wake_value = best
-        self._wake_dirty = False
-        return best
+        # Fastpath replacement for _earliest_warp_wake: peek the lazy
+        # per-warp wake heap (facade setters push on every eligibility
+        # transition; the peek validates entries against the slabs, so
+        # the result is exactly the vector scan's minimum).  No memo
+        # needed — a valid peek is a handful of scalar reads.
+        return self.soa.earliest_wake_heap(self.cycle)
 
     # ------------------------------------------------------------------
     def _collect_result(self, label: str = "") -> SimResult:

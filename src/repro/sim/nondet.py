@@ -57,12 +57,12 @@ class JitterSource:
     def dram(self) -> int:
         if self.dram_max == 0:
             return 0
-        return int(self._rng.integers(0, self.dram_max + 1))
+        return int(self._rng.integers(0, self.dram_max + 1, dtype=np.int64))
 
     def icnt(self) -> int:
         if self.icnt_max == 0:
             return 0
-        return int(self._rng.integers(0, self.icnt_max + 1))
+        return int(self._rng.integers(0, self.icnt_max + 1, dtype=np.int64))
 
     def __repr__(self) -> str:
         return (

@@ -153,6 +153,9 @@ class SimResult:
     #: host wall-clock seconds for the run (throughput telemetry only —
     #: excluded from equality so determinism comparisons stay exact).
     wall_s: float = field(default=0.0, compare=False)
+    #: wall-clock seconds inside GPU.run() only (engine cost, excluding
+    #: workload build / digesting); same telemetry-only rules as wall_s.
+    sim_wall_s: float = field(default=0.0, compare=False)
     #: host phase totals ({phase: {"seconds", "calls"}}) carried by
     #: reconstructed results; live runs report the profiler's instead.
     host_phases: Dict[str, Dict[str, float]] = field(
@@ -222,10 +225,11 @@ class SimResult:
         if schema == "repro.metrics/v1":
             extra.pop("cache_hit", None)    # stale v1 provenance
             extra.pop("journal_hit", None)  # likewise
-        wall_s, host_phases = 0.0, {}
+        wall_s, sim_wall_s, host_phases = 0.0, 0.0, {}
         if schema == METRICS_SCHEMA:
             host = dict(doc.get("host_profile", {}))
             wall_s = float(host.get("wall_s", 0.0))
+            sim_wall_s = float(host.get("sim_wall_s", 0.0))
             host_phases = {str(k): dict(v) for k, v in
                            dict(host.get("phases", {})).items()}
         return cls(
@@ -250,6 +254,7 @@ class SimResult:
             buffer_stats=list(doc.get("buffers", [])),
             partition_stats=list(doc.get("partitions", [])),
             wall_s=wall_s,
+            sim_wall_s=sim_wall_s,
             host_phases=host_phases,
         )
 
@@ -298,6 +303,7 @@ class SimResult:
             "trace": {},
             "host_profile": {
                 "wall_s": self.wall_s,
+                "sim_wall_s": self.sim_wall_s,
                 "phases": {k: dict(self.host_phases[k])
                            for k in sorted(self.host_phases)},
             },

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
+import numpy as np
+
 from repro.arch.isa import OpClass
 from repro.arch.kernel import CTA, Kernel
 from repro.arch.warp import Warp
@@ -35,6 +37,7 @@ from repro.core.schedulers import (
 )
 from repro.memory.cache import SectorCache
 from repro.sim.results import StallBreakdown
+from repro.sim.soa import NEVER
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.gpu import GPU
@@ -50,6 +53,19 @@ class SM:
         self.num_schedulers = cfg.num_schedulers_per_sm
         self.slots_per_scheduler = cfg.warps_per_scheduler
         self.total_slots = cfg.max_warps_per_sm
+
+        # SoA slab block views (repro.sim.soa): this SM's scheduler rows
+        # of the GPU-wide state and scratch slabs.  Views, never copies.
+        soa = gpu.soa
+        self.soa = soa
+        self.row0 = sm_id * self.num_schedulers
+        sl = slice(self.row0, self.row0 + self.num_schedulers)
+        self._v_ready = soa.ready_cycle[sl]
+        self._v_loads = soa.out_loads[sl]
+        self._v_atoms = soa.out_atoms[sl]
+        self._v_active = soa.active[sl]
+        self._v_barrier = soa.at_barrier[sl]
+        self._v_pc = soa.pc[sl]
 
         self.obs = getattr(gpu, "obs", None)
         self.inv = getattr(gpu, "inv", None)
@@ -85,6 +101,9 @@ class SM:
                 )
                 for i in range(count)
             ]
+            b0 = sm_id * count
+            for i, buf in enumerate(self.buffers):
+                buf.bind_slab(soa, b0 + i)
 
         # Kernel/batch bookkeeping.
         self.kernel: Optional[Kernel] = None
@@ -113,17 +132,17 @@ class SM:
         # a warp's ready_cycle / done / at_barrier / outstanding
         # counters must _touch() that warp's scheduler.
         ns = self.num_schedulers
-        self._sched_dirty = [True] * ns
-        #: min ready_cycle among eligible warps, valid while clean;
-        #: None = no time-driven wake (idle, or event-blocked warps).
-        self._sched_wake: List[Optional[int]] = [None] * ns
         #: open stall window: frozen reason (None = idle, books nothing)
         #: and the first epoch the window covers.
         self._acct_reason: List[Optional[str]] = [None] * ns
         self._acct_epoch = [0] * ns
-        self._any_dirty = True
+        #: per-kernel decode table: instrs[pc].atomic as a plain list
+        #: (replaced in begin_kernel; consulted only for live warps, so
+        #: stale done-warp PCs from a previous kernel are never read).
+        self._atomic_pc: List[bool] = [False]
         #: baseline-only: a barrier/fence/outstanding transition since
-        #: the last _check_baseline_releases poll.
+        #: the last _check_baseline_releases poll (property over the
+        #: per-SM SoA vector so GPU call sites are unchanged).
         self._release_dirty = True
         #: reusable per-slot status records + per-scheduler status list,
         #: rewritten in place for examined schedulers (no per-cycle
@@ -153,6 +172,12 @@ class SM:
                 f"{self.total_slots} slots"
             )
         self._ctas_per_wave = max(1, self.total_slots // self._warps_per_cta)
+        prog = kernel.program
+        tbl = getattr(prog, "_atomic_pc", None)
+        if tbl is None:
+            tbl = [ins.atomic for ins in prog.instrs] or [False]
+            prog._atomic_pc = tbl
+        self._atomic_pc = tbl
         for sched in self.schedulers:
             sched.reset_for_drain()
 
@@ -193,6 +218,12 @@ class SM:
         for w, g in enumerate(slots):
             sched = g % self.num_schedulers
             local = g // self.num_schedulers
+            old = self.sched_slots[sched][local]
+            if old is not None:
+                # The retired warp may still receive late store acks:
+                # detach it onto instance storage before its cell is
+                # rebound to the new occupant.
+                old.unbind_slab()
             warp = Warp(
                 uid=self.gpu.next_warp_uid(),
                 cta=cta,
@@ -206,6 +237,7 @@ class SM:
             warp.ready_cycle = now
             if self.obs is not None and self.obs.wants("access"):
                 warp.capture_addrs = True
+            warp.bind_slab(self.soa, self.row0 + sched, local)
             self.sched_slots[sched][local] = warp
             self.schedulers[sched].notify_warp_added(self.sched_slots[sched], local)
             self.live_count += 1
@@ -233,6 +265,16 @@ class SM:
                     out.append(w)
         return out
 
+    @property
+    def _release_dirty(self) -> bool:
+        return self.soa.sm_release_dirty[self.sm_id]
+
+    @_release_dirty.setter
+    def _release_dirty(self, v: bool) -> None:
+        self.soa.sm_release_dirty[self.sm_id] = v
+        if v:
+            self.soa.visit_dirty.add(self.sm_id)
+
     # ------------------------------------------------------------------
     # DAB buffer plumbing.
     # ------------------------------------------------------------------
@@ -250,6 +292,12 @@ class SM:
             return [w] if w is not None else []
         return [w for w in self.sched_slots[idx] if w is not None]
 
+    # The three buffer queries below deliberately walk the object graph
+    # rather than the SoA mirrors: they serve the polling oracle (and
+    # CIF/checkpoint paths), which must never depend on mirror
+    # maintenance — a mirror bug has to surface as an engine divergence
+    # in the equivalence tests, not corrupt both engines identically.
+    # The fast engine uses the vectorized twins on repro.sim.soa.
     def any_buffer_nonempty(self) -> bool:
         return any(b.non_empty for b in self.buffers)
 
@@ -292,38 +340,16 @@ class SM:
     # ------------------------------------------------------------------
     def _touch(self, sched: int) -> None:
         """A warp-state mutation invalidated this scheduler's memos."""
-        self._sched_dirty[sched] = True
-        self._any_dirty = True
+        soa = self.soa
+        soa.sched_dirty[self.row0 + sched] = True
+        soa.visit_dirty.add(self.sm_id)
 
     def touch_all(self) -> None:
-        dirty = self._sched_dirty
+        soa = self.soa
+        base = self.row0
         for s in range(self.num_schedulers):
-            dirty[s] = True
-        self._any_dirty = True
-
-    def needs_visit(self, now: int) -> bool:
-        """Must this SM run an issue phase at cycle ``now``?"""
-        if self._any_dirty or self._release_dirty:
-            return True
-        for w in self._sched_wake:
-            if w is not None and w <= now:
-                return True
-        return False
-
-    def _sched_wake_scan(self, sched: int, now: int) -> Optional[int]:
-        """Min future wake among this scheduler's eligible warps.
-
-        The per-scheduler slice of GPU._earliest_warp_wake: used when
-        the scheduler's wake memo is stale (dirty).
-        """
-        best: Optional[int] = None
-        for w in self.sched_slots[sched]:
-            if w is None:
-                continue
-            rc = w.wake_candidate()
-            if rc is not None and rc > now and (best is None or rc < best):
-                best = rc
-        return best
+            soa.sched_dirty[base + s] = True
+        soa.visit_dirty.add(self.sm_id)
 
     def settle_stall_windows(self, epoch_end: int) -> None:
         """Book every open stall window through ``epoch_end - 1``.
@@ -341,46 +367,53 @@ class SM:
                 if owed > 0:
                     self.stalls.record_bulk(reason, owed)
                 self._acct_reason[s] = None
-                self._sched_dirty[s] = True
-                self._any_dirty = True
+                self.soa.sched_dirty[self.row0 + s] = True
 
-    def _fast_statuses(self, sched: int, table, now: int):
+    def _fast_statuses(self, sched: int, table, now: int,
+                       act, bar, rc, ol, oa):
         """Per-slot status snapshots, rewritten into reusable records.
 
         Must mirror :meth:`_status` exactly — the polling engine's
-        per-warp snapshot is the behavioural reference.
+        per-warp snapshot is the behavioural reference.  The timing
+        terms come from the caller's slab-row gathers (one bulk
+        ``.tolist()`` per array instead of five facade reads per warp);
+        the GPUDet consult and the atomic gate keep their per-warp side
+        effects.  Also returns the live-status list (identical to
+        SchedulerPolicy._live) so select() skips a second slot scan.
         """
         rows = self._status_rows[sched]
         out = self._status_lists[sched]
+        pc_row = self._v_pc[sched].tolist()
+        atbl = self._atomic_pc
         gpudet = self.gpu.gpudet
+        dab = self.dab
+        live = []
         for i, w in enumerate(table):
             if w is None:
                 out[i] = None
                 continue
-            if w.done:
+            if not act[i]:
                 out[i] = DONE_STATUS
                 continue
-            ready = (
-                w.ready_cycle <= now
-                and w.outstanding_loads == 0
-                and w.outstanding_atoms == 0
-            )
+            ready = ol[i] == 0 and oa[i] == 0 and rc[i] <= now
             if ready and gpudet is not None:
                 ready = gpudet.can_issue(w)
-            next_atomic = w.next_is_atomic()
+            next_atomic = atbl[pc_row[i]]
+            at_b = bar[i]
             gate_ok = True
             gate_reason = ""
-            if next_atomic and self.dab is not None and not w.at_barrier:
+            if next_atomic and dab is not None and not at_b:
                 gate_ok, gate_reason = self._atomic_gate(w)
             r = rows[i]
             r.warp = w
             r.ready = ready
-            r.at_barrier = w.at_barrier
+            r.at_barrier = at_b
             r.next_atomic = next_atomic
             r.gate_ok = gate_ok
             r.gate_reason = gate_reason
             out[i] = r
-        return out
+            live.append(r)
+        return out, live
 
     def issue_cycle_fast(self, now: int, epoch: int) -> int:
         """Event-driven counterpart of :meth:`issue_cycle`.
@@ -391,17 +424,23 @@ class SM:
         stall records the polling loop books while a scheduler cannot
         issue are reproduced in bulk when its window closes.
         """
-        if self._release_dirty:
-            self._release_dirty = False
+        soa = self.soa
+        if soa.sm_release_dirty[self.sm_id]:
+            soa.sm_release_dirty[self.sm_id] = False
             self._check_baseline_releases(now)
         issued = 0
-        dirty = self._sched_dirty
-        wakes = self._sched_wake
+        left_dirty = False
+        base = self.row0
+        dirty = soa.sched_dirty
+        wakes = soa.sched_wake
+        # Both calendars are plain Python lists and read LIVE: an
+        # earlier scheduler of this pass can touch a later one (e.g. an
+        # immediate barrier release), and the polling loop's lazy
+        # evaluation sees that within the same cycle.
         for s, sched in enumerate(self.schedulers):
-            if not dirty[s]:
-                wake = wakes[s]
-                if wake is None or wake > now:
-                    continue  # frozen stall/idle window; booked later
+            r0 = base + s
+            if not dirty[r0] and wakes[r0] > now:
+                continue  # frozen stall/idle window; booked later
             # Close the open window: the polling loop booked one stall
             # per epoch under the frozen reason while we skipped.
             reason = self._acct_reason[s]
@@ -410,35 +449,46 @@ class SM:
                 if owed > 0:
                     self.stalls.record_bulk(reason, owed)
                 self._acct_reason[s] = None
-            dirty[s] = False
+            dirty[r0] = False
 
-            table = self.sched_slots[s]
+            # Row-gather precheck: one bulk .tolist() per slab row (the
+            # write-through facade keeps the rows current) replaces the
+            # per-warp facade reads of the old scan; gathers are fresh
+            # at examination time, so an earlier scheduler's issue side
+            # effects are always observed (same as the polling scan).
+            row = s
+            act = self._v_active[row].tolist()
+            bar = self._v_barrier[row].tolist()
+            rc = self._v_ready[row].tolist()
+            ol = self._v_loads[row].tolist()
+            oa = self._v_atoms[row].tolist()
             any_live = False
             any_ready = False
             all_barrier = True
-            wake = None
-            for w in table:
-                if w is None or w.done:
+            wake = NEVER
+            for i in range(len(act)):
+                if not act[i]:
                     continue
                 any_live = True
-                if not w.at_barrier:
-                    all_barrier = False
-                    if w.issue_ready(now):
+                if bar[i]:
+                    continue
+                all_barrier = False
+                if ol[i] == 0 and oa[i] == 0:
+                    r = rc[i]
+                    if r <= now:
                         any_ready = True
                         break
-                    if (
-                        w.outstanding_loads == 0
-                        and w.outstanding_atoms == 0
-                        and (wake is None or w.ready_cycle < wake)
-                    ):
-                        wake = w.ready_cycle
+                    if r < wake:
+                        wake = r
             if not any_live:
-                wakes[s] = None
+                wakes[r0] = NEVER
                 continue  # idle scheduler: not counted as a stall slot
             if not any_ready:
                 self._acct_reason[s] = "barrier" if all_barrier else "mem"
                 self._acct_epoch[s] = epoch
-                wakes[s] = wake
+                wakes[r0] = wake
+                if wake != NEVER:
+                    soa.push_wake(r0, wake)
                 continue
 
             # A warp is timing-ready: run the full select machinery and
@@ -446,9 +496,11 @@ class SM:
             # evaluation has side effects (sticky full bits, GPUDet
             # quantum ends), so they must happen at every epoch the
             # polling loop would run them.
-            dirty[s] = True
-            statuses = self._fast_statuses(s, table, now)
-            warp, reason = sched.select(now, statuses)
+            dirty[r0] = True
+            left_dirty = True
+            statuses, live = self._fast_statuses(
+                s, self.sched_slots[s], now, act, bar, rc, ol, oa)
+            warp, reason = sched.select(now, statuses, live)
             blocked = getattr(sched, "gate_blocked_warp", None)
             if blocked is not None:
                 sched.gate_blocked_warp = None
@@ -461,7 +513,10 @@ class SM:
             if warp is not None:
                 self._issue(now, warp)
                 issued += 1
-        self._any_dirty = True in dirty
+        if left_dirty:
+            # A scheduler stayed dirty (select side effects must rerun
+            # next epoch): keep this SM on the agenda.
+            soa.visit_dirty.add(self.sm_id)
         return issued
 
     # ------------------------------------------------------------------

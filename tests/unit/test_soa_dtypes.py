@@ -1,0 +1,136 @@
+"""Dtype pinning on the determinism surfaces (ISSUE 10 satellite).
+
+The SoA slabs, the fault substream draws, and the metrics document are
+all places where a platform-default ``intp``/``float64`` could silently
+replace the pinned dtype and change either the random bitstream (numpy
+consumes a different number of words per bounded draw depending on the
+dtype) or a serialized digest.  These tests assert the pinning at the
+source rather than waiting for a cross-platform digest mismatch.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.config import GPUConfig
+from repro.faults import FaultPlan
+from repro.harness.runner import ArchSpec, run_workload
+from repro.sim.nondet import JitterSource
+from repro.sim.soa import NEVER, WarpSlabs
+from repro.workloads.microbench import build_histogram
+
+
+def _make_slabs():
+    return WarpSlabs(num_sms=2, schedulers_per_sm=2,
+                     slots_per_scheduler=4, buffers_per_sm=2)
+
+
+def test_slab_dtypes_pinned():
+    s = _make_slabs()
+    for name in ("ready_cycle", "out_loads", "out_stores", "out_atoms",
+                 "buffered_reds", "pc", "buf_occupancy"):
+        assert getattr(s, name).dtype == np.int64, name
+    for name in ("active", "at_barrier", "buf_full", "s_nonbar"):
+        assert getattr(s, name).dtype == np.bool_, name
+
+
+def test_calendars_are_plain_python():
+    """The per-scheduler/per-SM calendars carry exact Python scalars.
+
+    They are plain lists on purpose (scalar list access beats numpy
+    getitem ~4x on the hot path) — and a numpy scalar sneaking in would
+    be the first step of a dtype leak into stall accounting.
+    """
+    s = _make_slabs()
+    assert isinstance(s.sched_dirty, list)
+    assert isinstance(s.sched_wake, list)
+    assert isinstance(s.sm_release_dirty, list)
+    assert all(type(w) is int for w in s.sched_wake)
+    assert all(type(d) is bool for d in s.sched_dirty)
+    assert type(s.buf_nonempty_count) is int
+    assert type(s.buf_full_count) is int
+    assert type(NEVER) is int
+
+
+def test_fault_draws_return_python_ints():
+    plan = FaultPlan.sample(7)
+    cfg = plan.config
+    for field in ("dram_burst_len", "dram_burst_extra", "icnt_spike_max",
+                  "reorder_max_delay", "stall_windows", "stall_len",
+                  "preflush_max_delay"):
+        assert type(getattr(cfg, field)) is int, field
+    inj = plan.injector()
+    draws = [inj.dram_extra(0) for _ in range(50)]
+    draws += [inj.icnt_extra() for _ in range(50)]
+    draws += [inj.delay_for(0, 1, when=i) for i in range(50)]
+    draws += [inj.preflush_delay(0, 0) for _ in range(50)]
+    draws += [w for pair in inj.stall_windows_for(0) for w in pair]
+    assert all(type(d) is int for d in draws)
+    jit = JitterSource(3)
+    assert all(type(jit.dram()) is int and type(jit.icnt()) is int
+               for _ in range(50))
+
+
+def test_metrics_document_is_plain_json_types():
+    """No numpy scalar may reach the serialized metrics document."""
+    res = run_workload(lambda: build_histogram(n=256, bins=16),
+                       ArchSpec.baseline(), gpu_config=GPUConfig.small(),
+                       seed=1)
+    doc = res.metrics_dict()
+    doc.pop("host_profile", None)
+
+    def walk(node, path):
+        if isinstance(node, dict):
+            for k, v in node.items():
+                assert type(k) is str, f"non-str key at {path}: {k!r}"
+                walk(v, f"{path}.{k}")
+        elif isinstance(node, (list, tuple)):
+            for i, v in enumerate(node):
+                walk(v, f"{path}[{i}]")
+        else:
+            assert type(node) in (int, float, str, bool, type(None)), \
+                f"non-JSON scalar {type(node).__name__} at {path}"
+
+    walk(doc, "$")
+    json.dumps(doc)  # and it must round-trip
+
+
+_PROMOTION_PROBE = """
+import os, sys
+sys.path.insert(0, {src!r})
+from repro.config import GPUConfig
+from repro.harness.runner import ArchSpec, run_workload
+from repro.workloads.microbench import build_histogram
+res = run_workload(lambda: build_histogram(n=256, bins=16),
+                   ArchSpec.baseline(), gpu_config=GPUConfig.small(),
+                   seed=1)
+print(res.mem_digest, res.cycles)
+"""
+
+
+@pytest.mark.parametrize("state", ["weak", "legacy"])
+def test_digest_stable_under_promotion_state(state):
+    """Same digest under either numpy promotion-state setting.
+
+    ``NPY_PROMOTION_STATE`` only affects numpy 1.24-2.0 (newer releases
+    adopted weak promotion unconditionally and ignore the variable);
+    the run is still exercised there so the probe keeps guarding older
+    installs without asserting anything numpy no longer promises.
+    """
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    script = _PROMOTION_PROBE.format(src=os.path.abspath(src))
+    outs = []
+    for st in (None, state):
+        env = dict(os.environ)
+        env.pop("NPY_PROMOTION_STATE", None)
+        if st is not None:
+            env["NPY_PROMOTION_STATE"] = st
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True, timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        outs.append(proc.stdout.strip())
+    assert outs[0] == outs[1]
